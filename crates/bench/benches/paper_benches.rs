@@ -1,0 +1,147 @@
+//! Criterion benchmarks: one group per paper artifact, timing the kernels
+//! that regenerate it. The bench binaries in `src/bin/` print the actual
+//! table/figure contents; these groups measure how long the underlying
+//! models and simulators take, which is what a downstream user of the
+//! library cares about when embedding them.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cpusim::{CoreKind, CpuConfig, Simulator};
+use disagg_core::cpu_experiments::{run_cpu_experiment_subset, CpuExperimentConfig};
+use disagg_core::gpu_experiments::{run_gpu_experiment, GpuExperimentConfig};
+use disagg_core::rack_analysis::RackAnalysis;
+use fabric::flowsim::{Flow, FlowSimConfig, FlowSimulator};
+use fabric::rackfabric::{FabricKind, RackFabric, RackFabricConfig};
+use fabric::routing::{IndirectRouter, OccupancyBoard};
+use gpusim::{GpuConfig, GpuTimingModel};
+use photonics::fec::LinkErrorModel;
+use photonics::link::EscapeSizing;
+use rack::isoperf::IsoPerformanceAnalysis;
+use rack::mcm::RackComposition;
+use rack::power::RackPowerModel;
+use workloads::cpu::cpu_benchmarks;
+use workloads::gpu::gpu_applications;
+use workloads::production::ProductionDistributions;
+
+/// Tables I-IV: analytical sizing models.
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables");
+    g.bench_function("table1_link_sizing", |b| b.iter(EscapeSizing::table_i_rows));
+    g.bench_function("table3_mcm_packing", |b| b.iter(RackComposition::paper_rack));
+    g.finish();
+}
+
+/// Fig. 5: fabric construction and the all-pairs connectivity report.
+fn bench_fabric(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_fabric");
+    g.sample_size(10);
+    for kind in [FabricKind::ParallelAwgrs, FabricKind::WaveSelective] {
+        g.bench_with_input(
+            BenchmarkId::new("connectivity_report", format!("{kind:?}")),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    RackFabric::new(RackFabricConfig::paper_rack(kind)).report()
+                })
+            },
+        );
+    }
+    g.bench_function("indirect_routing_1000_flows", |b| {
+        let fabric = RackFabric::paper_awgr();
+        b.iter(|| {
+            let mut board = OccupancyBoard::new(350);
+            let mut router = IndirectRouter::with_fresh_state(7);
+            for i in 0..1000u32 {
+                let src = i % 350;
+                let dst = (i * 7 + 13) % 350;
+                router.route(&fabric, &mut board, src, dst, 6);
+            }
+            router.stats()
+        })
+    });
+    g.bench_function("flow_simulator_rack_demand", |b| {
+        let fabric = RackFabric::paper_awgr();
+        let dist = ProductionDistributions::cori_haswell();
+        let nodes = dist.sample_nodes_stable(128, 7);
+        let flows: Vec<Flow> = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| Flow::new((i % 10) as u32, 312 + (i % 38) as u32, n.memory_bandwidth_gbs * 8.0))
+            .collect();
+        b.iter(|| FlowSimulator::new(&fabric, FlowSimConfig::default()).run(&flows))
+    });
+    g.finish();
+}
+
+/// Figs. 6-8, 12 (CPU): the trace-driven CPU simulator.
+fn bench_cpu_simulation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cpu_simulation");
+    g.sample_size(10);
+    let benchmarks = cpu_benchmarks();
+    let nw = benchmarks.iter().find(|b| b.name == "nw").unwrap();
+    let trace = nw.trace(100_000);
+    for kind in [CoreKind::InOrder, CoreKind::OutOfOrder] {
+        g.bench_with_input(
+            BenchmarkId::new("nw_100k_accesses", format!("{kind}")),
+            &kind,
+            |b, &kind| {
+                let sim = Simulator::new(CpuConfig::baseline(kind).with_extra_latency_ns(35.0))
+                    .with_warmup(true);
+                b.iter(|| sim.run(&trace))
+            },
+        );
+    }
+    g.bench_function("fig6_quick_sweep_rodinia", |b| {
+        let cfg = CpuExperimentConfig::quick();
+        b.iter(|| {
+            run_cpu_experiment_subset(&cfg, |bench| {
+                bench.suite == workloads::cpu::CpuSuite::Rodinia
+            })
+        })
+    });
+    g.finish();
+}
+
+/// Figs. 9-11, 12 (GPU): the analytical GPU model.
+fn bench_gpu_simulation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gpu_simulation");
+    g.bench_function("fig9_all_24_applications", |b| {
+        let cfg = GpuExperimentConfig::default();
+        b.iter(|| run_gpu_experiment(&cfg))
+    });
+    g.bench_function("single_application_sweep", |b| {
+        let model = GpuTimingModel::new(GpuConfig::a100());
+        let apps = gpu_applications();
+        let app = &apps[0];
+        b.iter(|| model.latency_sweep(app, &[0.0, 25.0, 30.0, 35.0, 85.0]))
+    });
+    g.finish();
+}
+
+/// Section VI-A1/C/E and III-C3: the analytical studies.
+fn bench_analytics(c: &mut Criterion) {
+    let mut g = c.benchmark_group("analytics");
+    g.bench_function("ber_fec_analysis", |b| {
+        b.iter(|| LinkErrorModel::paper_nominal().analyze())
+    });
+    g.bench_function("power_overhead", |b| {
+        b.iter(|| RackPowerModel::paper_rack().photonic_overhead())
+    });
+    g.bench_function("iso_performance", |b| b.iter(IsoPerformanceAnalysis::paper));
+    g.bench_function("production_sampling_10k_nodes", |b| {
+        let dist = ProductionDistributions::cori_haswell();
+        b.iter(|| dist.sample_nodes_stable(10_000, 42))
+    });
+    g.sample_size(10);
+    g.bench_function("full_rack_analysis", |b| b.iter(RackAnalysis::paper));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tables,
+    bench_fabric,
+    bench_cpu_simulation,
+    bench_gpu_simulation,
+    bench_analytics
+);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Regenerates the Section VI-C power analysis: ~11 kW of photonics on a
+//! ~210 kW rack, a ~5% overhead.
+
+use rack::power::RackPowerModel;
+
+fn main() {
+    let model = RackPowerModel::paper_rack();
+    let o = model.photonic_overhead();
+    println!("Power overhead (Section VI-C)");
+    println!("  transceiver power : {:>10.1} W", o.transceiver_power_w);
+    println!("  switch power      : {:>10.1} W", o.switch_power_w);
+    println!("  photonic total    : {:>10.1} W", o.photonic_power_w);
+    println!("  baseline rack     : {:>10.1} W", o.baseline_rack_power_w);
+    println!("  overhead          : {:>10.2} %", o.overhead_percent());
+}

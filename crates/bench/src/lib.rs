@@ -1,0 +1,1 @@
+//! Benchmark harness support library. The interesting code lives in the bench binaries and criterion benches.

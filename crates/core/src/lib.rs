@@ -1,0 +1,47 @@
+//! # disagg-core
+//!
+//! The high-level API of the reproduction: it ties the photonic device
+//! models, the rack fabric, the CPU/GPU simulators, and the workload
+//! registries together into **experiment drivers** that regenerate every
+//! table and figure of the paper's evaluation (Section VI), plus a
+//! [`DisaggregatedRack`](rack_builder::DisaggregatedRack) façade that a
+//! downstream user would start from.
+//!
+//! * [`rack_builder`] — build the paper's photonically-disaggregated rack
+//!   (or variants) and summarize its properties.
+//! * [`cpu_experiments`] — the gem5-equivalent CPU latency studies
+//!   (Figs. 6, 7, 8, the CPU half of Fig. 12).
+//! * [`gpu_experiments`] — the PPT-GPU-equivalent GPU latency studies
+//!   (Figs. 9, 10, 11, the GPU half of Fig. 12).
+//! * [`rack_analysis`] — the analytical results: Tables I–IV, the Fig. 5
+//!   connectivity guarantee, power overhead, BER/FEC, bandwidth
+//!   sufficiency, and the iso-performance comparison.
+//! * [`report`] — plain-text table formatting used by the bench binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cpu_experiments;
+pub mod gpu_experiments;
+pub mod rack_analysis;
+pub mod rack_builder;
+pub mod report;
+
+pub use cpu_experiments::{
+    CpuBenchmarkResult, CpuExperimentConfig, SuiteSummary, run_cpu_experiment,
+    summarize_by_suite,
+};
+pub use gpu_experiments::{GpuBenchmarkResult, GpuExperimentConfig, run_gpu_experiment};
+pub use rack_analysis::RackAnalysis;
+pub use rack_builder::{DisaggregatedRack, RackSummary};
+
+/// The paper's latency sweep for CPU/GPU studies, in nanoseconds:
+/// baseline (0), the photonic sensitivity points (25, 30, 35), and the best
+/// electronic switch (85).
+pub const LATENCY_SWEEP_NS: [f64; 5] = [0.0, 25.0, 30.0, 35.0, 85.0];
+
+/// The photonic design point (35 ns) used by most figures.
+pub const PHOTONIC_LATENCY_NS: f64 = 35.0;
+
+/// The best electronic-switch design point (85 ns) used by Fig. 12.
+pub const ELECTRONIC_LATENCY_NS: f64 = 85.0;

@@ -1,0 +1,263 @@
+//! Plain-text report formatting for the bench binaries and examples.
+//!
+//! The harness prints the same rows/series the paper's tables and figures
+//! report, so a reader can diff them against the paper side by side.
+
+use crate::cpu_experiments::{CpuBenchmarkResult, SuiteSummary};
+use crate::gpu_experiments::GpuBenchmarkResult;
+use crate::rack_analysis::RackAnalysis;
+
+/// Format a simple two-column table with a title.
+pub fn format_table(title: &str, rows: &[(String, String)]) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    out.push_str(&"-".repeat(title.len().max(20)));
+    out.push('\n');
+    let width = rows.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+    for (k, v) in rows {
+        out.push_str(&format!("{k:<width$}  {v}\n"));
+    }
+    out
+}
+
+/// Format the Fig. 6 / Fig. 8 style suite summaries.
+pub fn format_suite_summaries(title: &str, summaries: &[SuiteSummary]) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    out.push_str(&format!(
+        "{:<10} {:<8} {:<9} {:>8} {:>10} {:>10}\n",
+        "suite", "input", "core", "latency", "avg slow%", "max slow%"
+    ));
+    for s in summaries {
+        out.push_str(&format!(
+            "{:<10} {:<8} {:<9} {:>6}ns {:>9.1}% {:>9.1}%\n",
+            s.suite.to_string(),
+            s.input.map_or("all".to_string(), |i| i.to_string()),
+            s.core_kind.to_string(),
+            s.latency_ns,
+            s.average_slowdown,
+            s.max_slowdown
+        ));
+    }
+    out
+}
+
+/// Format the Fig. 7 style per-benchmark slowdown / miss-rate rows.
+pub fn format_miss_rate_rows(title: &str, rows: &[(String, f64, f64)]) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    out.push_str(&format!(
+        "{:<38} {:>10} {:>12}\n",
+        "benchmark", "slowdown%", "LLC miss%"
+    ));
+    for (name, slowdown, miss) in rows {
+        out.push_str(&format!(
+            "{:<38} {:>9.1}% {:>11.1}%\n",
+            name,
+            slowdown,
+            miss * 100.0
+        ));
+    }
+    out
+}
+
+/// Format per-benchmark CPU results at a single latency (Fig. 8 / Fig. 12
+/// series).
+pub fn format_cpu_results(
+    title: &str,
+    results: &[CpuBenchmarkResult],
+    latencies_ns: &[f64],
+) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    out.push_str(&format!("{:<38} {:<9}", "benchmark", "core"));
+    for l in latencies_ns {
+        out.push_str(&format!(" {:>8}", format!("+{l}ns")));
+    }
+    out.push('\n');
+    for r in results {
+        out.push_str(&format!("{:<38} {:<9}", r.benchmark.id(), r.core_kind.to_string()));
+        for &l in latencies_ns {
+            match r.slowdown_at(l) {
+                Some(s) => out.push_str(&format!(" {s:>7.1}%")),
+                None => out.push_str(&format!(" {:>8}", "-")),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Format per-application GPU results (Fig. 9 series).
+pub fn format_gpu_results(
+    title: &str,
+    results: &[GpuBenchmarkResult],
+    latencies_ns: &[f64],
+) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    out.push_str(&format!("{:<20} {:<12}", "application", "suite"));
+    for l in latencies_ns {
+        out.push_str(&format!(" {:>8}", format!("+{l}ns")));
+    }
+    out.push('\n');
+    for r in results {
+        out.push_str(&format!("{:<20} {:<12}", r.name, r.suite));
+        for &l in latencies_ns {
+            match r.slowdown_at(l) {
+                Some(s) => out.push_str(&format!(" {s:>7.2}%")),
+                None => out.push_str(&format!(" {:>8}", "-")),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Format the analytical results as a multi-section report.
+pub fn format_rack_analysis(analysis: &RackAnalysis) -> String {
+    let mut out = String::new();
+
+    out.push_str("Table I — WDM link technologies (2 TB/s escape target)\n");
+    for row in &analysis.table_i {
+        out.push_str(&format!("  {row}\n"));
+    }
+
+    out.push_str("\nTable II — high-radix photonic switches\n");
+    for sw in &analysis.table_ii {
+        out.push_str(&format!(
+            "  {:<22} {:>4}x{:<4} {:>4} wl/port {:>6.0} Gbps/wl  IL {:>5.1} dB\n",
+            sw.kind.to_string(),
+            sw.radix,
+            sw.radix,
+            sw.wavelengths_per_port,
+            sw.channel_bandwidth.gbps(),
+            sw.insertion_loss.db()
+        ));
+    }
+
+    out.push_str("\nTable III — chips per MCM and MCMs per rack\n");
+    for p in &analysis.table_iii.packings {
+        out.push_str(&format!("  {p}\n"));
+    }
+    out.push_str(&format!(
+        "  Total MCMs: {}\n",
+        analysis.table_iii.total_mcms()
+    ));
+
+    out.push_str("\nFig. 5 — fabric connectivity\n");
+    out.push_str(&format!(
+        "  AWGR: {} planes, min {} / max {} direct wavelengths, {} Gbps min direct BW, scheduler: {}\n",
+        analysis.awgr_connectivity.planes,
+        analysis.awgr_connectivity.min_direct_wavelengths,
+        analysis.awgr_connectivity.max_direct_wavelengths,
+        analysis.awgr_connectivity.min_direct_bandwidth_gbps,
+        analysis.awgr_connectivity.needs_scheduler
+    ));
+    out.push_str(&format!(
+        "  Wave-selective: {} switches, min {} direct wavelengths, scheduler: {}\n",
+        analysis.wave_selective_connectivity.planes,
+        analysis.wave_selective_connectivity.min_direct_wavelengths,
+        analysis.wave_selective_connectivity.needs_scheduler
+    ));
+
+    out.push_str("\nPower (Sec. VI-C)\n");
+    out.push_str(&format!(
+        "  photonic power {:.1} kW, overhead {:.1}%\n",
+        analysis.power.photonic_power_w / 1000.0,
+        analysis.power.overhead_percent()
+    ));
+
+    out.push_str("\nBandwidth sufficiency (Sec. VI-A1)\n");
+    out.push_str(&format!(
+        "  direct 125 Gbps sufficient: {:.2}%   single wavelength sufficient: {:.2}%\n",
+        analysis.bandwidth.direct_125gbps_sufficient * 100.0,
+        analysis.bandwidth.single_wavelength_sufficient * 100.0
+    ));
+    out.push_str(&format!(
+        "  GPU indirect reach {:.0} GB/s, headroom after HBM {:.1} GB/s, after GPU-GPU {:.1} GB/s\n",
+        analysis.gpu_budget.indirect_reach_gbs,
+        analysis.gpu_budget.headroom_after_hbm_gbs,
+        analysis.gpu_budget.headroom_after_gpu_traffic_gbs
+    ));
+
+    out.push_str("\nIso-performance (Sec. VI-E)\n");
+    out.push_str(&format!(
+        "  baseline modules {} -> disaggregated {} ({:.1}% reduction)\n",
+        analysis.iso_performance.baseline.total(),
+        analysis.iso_performance.disaggregated.total(),
+        analysis.iso_performance.chip_reduction() * 100.0
+    ));
+
+    out.push_str("\nElectronic baselines (Sec. VI-D)\n");
+    for (name, ns) in &analysis.electronic_baselines {
+        out.push_str(&format!("  {name:<20} +{ns:.0} ns\n"));
+    }
+
+    out.push_str("\nHeadline claims\n");
+    for (claim, holds) in analysis.headline_claims() {
+        out.push_str(&format!("  [{}] {claim}\n", if holds { "ok" } else { "FAIL" }));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu_experiments::{run_cpu_experiment_subset, CpuExperimentConfig};
+    use crate::gpu_experiments::{run_gpu_experiment, GpuExperimentConfig};
+
+    #[test]
+    fn format_table_aligns_columns() {
+        let s = format_table(
+            "Test",
+            &[
+                ("short".to_string(), "1".to_string()),
+                ("much longer key".to_string(), "2".to_string()),
+            ],
+        );
+        assert!(s.contains("Test"));
+        assert!(s.contains("short            1"));
+    }
+
+    #[test]
+    fn rack_analysis_report_contains_all_sections() {
+        let analysis = RackAnalysis::paper();
+        let s = format_rack_analysis(&analysis);
+        for section in [
+            "Table I",
+            "Table II",
+            "Table III",
+            "Fig. 5",
+            "Power",
+            "Bandwidth sufficiency",
+            "Iso-performance",
+            "Electronic baselines",
+            "Headline claims",
+        ] {
+            assert!(s.contains(section), "missing section {section}");
+        }
+        assert!(s.contains("Total MCMs: 350"));
+    }
+
+    #[test]
+    fn cpu_and_gpu_formatting_smoke() {
+        let cfg = CpuExperimentConfig {
+            accesses_per_benchmark: 20_000,
+            ..CpuExperimentConfig::quick()
+        };
+        let cpu = run_cpu_experiment_subset(&cfg, |b| b.name == "nw");
+        let s = format_cpu_results("CPU", &cpu, &[35.0]);
+        assert!(s.contains("nw"));
+        let gpu = run_gpu_experiment(&GpuExperimentConfig::default());
+        let s = format_gpu_results("GPU", &gpu, &[25.0, 30.0, 35.0]);
+        assert!(s.contains("alexnet"));
+        let rows: Vec<(String, f64, f64)> = vec![("x".into(), 10.0, 0.5)];
+        assert!(format_miss_rate_rows("F7", &rows).contains("50.0%"));
+    }
+}

@@ -1,0 +1,134 @@
+//! Statistics helpers used when aggregating benchmark results: slowdown,
+//! Pearson product-moment correlation (Fig. 7 and Fig. 10 of the paper
+//! report correlation coefficients), and geometric means.
+
+/// Slowdown of `cycles` relative to `baseline_cycles`, as a percentage.
+///
+/// 0% means identical execution time; 50% means 1.5x the baseline cycles.
+pub fn slowdown_percent(baseline_cycles: u64, cycles: u64) -> f64 {
+    if baseline_cycles == 0 {
+        return 0.0;
+    }
+    (cycles as f64 / baseline_cycles as f64 - 1.0) * 100.0
+}
+
+/// Pearson product-moment correlation coefficient between two samples.
+///
+/// Returns `None` if the inputs are empty, of different lengths, or either
+/// sample has zero variance.
+pub fn pearson_correlation(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.is_empty() {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mean_x = xs.iter().sum::<f64>() / n;
+    let mean_y = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut var_x = 0.0;
+    let mut var_y = 0.0;
+    for (&x, &y) in xs.iter().zip(ys.iter()) {
+        let dx = x - mean_x;
+        let dy = y - mean_y;
+        cov += dx * dy;
+        var_x += dx * dx;
+        var_y += dy * dy;
+    }
+    if var_x == 0.0 || var_y == 0.0 {
+        return None;
+    }
+    Some(cov / (var_x.sqrt() * var_y.sqrt()))
+}
+
+/// Geometric mean of a sample of positive values.
+///
+/// Returns `None` if the sample is empty or contains non-positive values.
+pub fn geometric_mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut log_sum = 0.0;
+    for &v in values {
+        if v <= 0.0 {
+            return None;
+        }
+        log_sum += v.ln();
+    }
+    Some((log_sum / values.len() as f64).exp())
+}
+
+/// Arithmetic mean; 0.0 for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Maximum of a slice; 0.0 for an empty slice.
+pub fn max(values: &[f64]) -> f64 {
+    values.iter().copied().fold(f64::NEG_INFINITY, f64::max).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slowdown_basics() {
+        assert_eq!(slowdown_percent(100, 100), 0.0);
+        assert!((slowdown_percent(100, 150) - 50.0).abs() < 1e-12);
+        assert!((slowdown_percent(200, 100) + 50.0).abs() < 1e-12);
+        assert_eq!(slowdown_percent(0, 100), 0.0);
+    }
+
+    #[test]
+    fn pearson_perfect_positive_and_negative() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson_correlation(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        let ys_neg = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson_correlation(&xs, &ys_neg).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_uncorrelated_is_near_zero() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let ys = [1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0];
+        let r = pearson_correlation(&xs, &ys).unwrap();
+        assert!(r.abs() < 0.3);
+    }
+
+    #[test]
+    fn pearson_degenerate_inputs() {
+        assert!(pearson_correlation(&[], &[]).is_none());
+        assert!(pearson_correlation(&[1.0], &[1.0, 2.0]).is_none());
+        assert!(pearson_correlation(&[1.0, 1.0], &[2.0, 3.0]).is_none());
+    }
+
+    #[test]
+    fn pearson_known_value() {
+        // Hand-computed example.
+        let xs = [1.0, 2.0, 3.0, 5.0, 8.0];
+        let ys = [0.11, 0.12, 0.13, 0.15, 0.18];
+        let r = pearson_correlation(&xs, &ys).unwrap();
+        assert!((r - 1.0).abs() < 1e-9, "linear relation should give r=1, got {r}");
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert!((geometric_mean(&[2.0, 8.0]).unwrap() - 4.0).abs() < 1e-12);
+        assert!((geometric_mean(&[3.0, 3.0, 3.0]).unwrap() - 3.0).abs() < 1e-12);
+        assert!(geometric_mean(&[]).is_none());
+        assert!(geometric_mean(&[1.0, 0.0]).is_none());
+        assert!(geometric_mean(&[1.0, -2.0]).is_none());
+    }
+
+    #[test]
+    fn mean_and_max() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(max(&[]), 0.0);
+        assert!((max(&[1.0, 5.0, 3.0]) - 5.0).abs() < 1e-12);
+    }
+}

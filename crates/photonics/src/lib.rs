@@ -1,0 +1,49 @@
+//! # photonics
+//!
+//! Photonic device, link, and switch models for intra-rack resource
+//! disaggregation, reproducing the technology survey and analysis of
+//! *"Efficient Intra-Rack Resource Disaggregation for HPC Using Co-Packaged
+//! DWDM Photonics"* (CLUSTER 2023).
+//!
+//! The crate provides:
+//!
+//! * [`link`] — the WDM link-technology catalogue of Table I (100 Gbps
+//!   Ethernet up to 2 Tbps comb-driven DWDM links) and the arithmetic used to
+//!   size escape bandwidth (number of links and aggregate power to reach a
+//!   2 TB/s escape target).
+//! * [`dwdm`] — a latency/energy model of a co-packaged DWDM link: comb-laser
+//!   source, per-wavelength ring modulators, SERDES/serialization,
+//!   fiber propagation at 5 ns/m, and FEC.
+//! * [`fec`] — the bit-error-rate and forward-error-correction model of
+//!   Section III-C3: burst correction, mis-corrected double bursts, CRC
+//!   escapes, retransmission overheads, and the resulting effective BER.
+//! * [`switch`] — the optical switch catalogue of Tables II and IV (MZI,
+//!   MEMS-actuated, microring-resonator, cascaded AWGR, and wave-selective
+//!   switches), including the cascaded-AWGR construction `K*M*N = 3*12*11`.
+//! * [`power`] — transceiver and switch power accounting used by the rack
+//!   power-overhead analysis (Section VI-C).
+//! * [`units`] — small strongly-typed helpers for bandwidth, energy, latency
+//!   and optical power used throughout the workspace.
+//!
+//! All models are deterministic and allocation-light; they are intended to be
+//! embedded both in analytical sizing code (the `rack` crate) and in the
+//! flow-level fabric simulator (the `fabric` crate).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dwdm;
+pub mod fec;
+pub mod link;
+pub mod power;
+pub mod switch;
+pub mod units;
+
+pub use dwdm::{DwdmLink, DwdmLinkBuilder, LinkLatencyBreakdown};
+pub use fec::{FecConfig, FecOutcome, LinkErrorModel};
+pub use link::{LinkTechnology, LinkTechnologyKind, EscapeSizing};
+pub use power::{PhotonicPowerModel, RackPhotonicPower};
+pub use switch::{
+    CascadedAwgr, OpticalSwitch, OpticalSwitchKind, SwitchConfig, SwitchPortBudget,
+};
+pub use units::{Bandwidth, Energy, Latency, OpticalPowerDb};

@@ -1,0 +1,37 @@
+//! # rack
+//!
+//! Rack, node, and MCM configuration models for the paper's disaggregated
+//! HPC rack (Section V), plus the analyses that sit directly on top of
+//! them:
+//!
+//! * [`chips`] — chip types (CPU, GPU, NIC, HBM stack, DDR4 module) with
+//!   their escape-bandwidth requirements and power.
+//! * [`node`] — the baseline GPU-accelerated HPE/Cray EX (Perlmutter-style)
+//!   node: one AMD Milan CPU with eight DDR4-3200 channels, four NVIDIA A100
+//!   GPUs with their HBM, four Slingshot NICs.
+//! * [`mcm`] — packing chips of a single type into MCMs under the 6.4 TB/s
+//!   per-MCM escape-bandwidth budget: reproduces Table III (350 MCMs).
+//! * [`power`] — rack power accounting and the ~5% photonic power overhead
+//!   (Section VI-C).
+//! * [`isoperf`] — the iso-performance provisioning analysis (Section VI-E):
+//!   4x fewer memory modules, 2x fewer NICs, ~44% fewer chips at equal
+//!   throughput, or double throughput for ~7% more chips.
+//! * [`bandwidth`] — the bandwidth-sufficiency analysis (Section VI-A1)
+//!   driven by the production utilization distributions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bandwidth;
+pub mod chips;
+pub mod isoperf;
+pub mod mcm;
+pub mod node;
+pub mod power;
+
+pub use bandwidth::{BandwidthSufficiency, GpuBandwidthBudget};
+pub use chips::{ChipKind, ChipSpec};
+pub use isoperf::{IsoPerformanceAnalysis, IsoPerformanceInputs, ResourceCounts};
+pub use mcm::{McmPacking, RackComposition};
+pub use node::BaselineNode;
+pub use power::RackPowerModel;

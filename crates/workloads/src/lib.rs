@@ -1,0 +1,35 @@
+//! # workloads
+//!
+//! Synthetic workloads driving the paper's three evaluations:
+//!
+//! * [`patterns`] + [`cpu`] — memory-access-trace generators and the CPU
+//!   benchmark registry standing in for the PARSEC 3.1, NAS 3.4.1, and
+//!   Rodinia suites the paper runs under gem5 (57 benchmark configurations
+//!   across 25 distinct applications and three input sizes). Each named
+//!   benchmark is a parameterized synthetic kernel whose working set,
+//!   access pattern, and compute intensity reproduce the *behaviour class*
+//!   of the original (LLC-resident vs. thrashing, streaming vs. random vs.
+//!   pointer-chasing), which is what determines latency sensitivity.
+//! * [`gpu`] — the 24 GPU application profiles (Rodinia, Polybench, Tango)
+//!   evaluated with the PPT-GPU-style analytical model in `gpusim`.
+//! * [`production`] — samplers reproducing the published NERSC Cori
+//!   utilization distributions (memory capacity, memory bandwidth, core
+//!   count, NIC bandwidth) used by the bandwidth-sufficiency analysis
+//!   (Section VI-A1) and the iso-performance provisioning study
+//!   (Section VI-E).
+//!
+//! All generators take explicit seeds, so every experiment in the harness is
+//! reproducible bit-for-bit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cpu;
+pub mod gpu;
+pub mod patterns;
+pub mod production;
+
+pub use cpu::{cpu_benchmarks, rodinia_cpu_gpu_intersection, CpuBenchmark, CpuSuite, InputSize};
+pub use gpu::{gpu_applications, GpuSuite};
+pub use patterns::{AccessPattern, PatternParams};
+pub use production::{NodeUtilization, ProductionDistributions, UtilizationSample};

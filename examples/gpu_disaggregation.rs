@@ -1,0 +1,45 @@
+//! GPU disaggregation study: evaluate the 24 GPU applications on the
+//! A100-class analytical model with photonic (35 ns) and electronic (85 ns)
+//! additional HBM latency — the GPU half of Figs. 9 and 12.
+//!
+//! Run with: `cargo run --release --example gpu_disaggregation`
+
+use photonic_disagg::core::gpu_experiments::{
+    average_slowdown, gpu_correlations, run_gpu_experiment, GpuExperimentConfig,
+};
+use photonic_disagg::core::report::format_gpu_results;
+
+fn main() {
+    let cfg = GpuExperimentConfig::default();
+    let results = run_gpu_experiment(&cfg);
+
+    println!(
+        "{}",
+        format_gpu_results(
+            "GPU slowdown vs additional LLC-HBM latency",
+            &results,
+            &[25.0, 30.0, 35.0, 85.0]
+        )
+    );
+    println!(
+        "average slowdown: +35 ns -> {:.2}%   +85 ns -> {:.2}%",
+        average_slowdown(&results, 35.0),
+        average_slowdown(&results, 85.0)
+    );
+    let c = gpu_correlations(&results, 35.0);
+    println!(
+        "correlation of slowdown with L2 miss rate {:?}, HBM transactions {:?}",
+        c.with_l2_miss_rate, c.with_hbm_transactions
+    );
+
+    // The Fig. 12 view: speedup of photonic over electronic disaggregation.
+    let mut speedups: Vec<(String, f64)> = results
+        .iter()
+        .map(|r| (r.name.clone(), r.speedup_between(35.0, 85.0).unwrap_or(0.0)))
+        .collect();
+    speedups.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    println!("\nTop-5 GPU speedups of photonic (35 ns) over electronic (85 ns) switches:");
+    for (name, s) in speedups.iter().take(5) {
+        println!("  {name:<16} {s:>6.2}%");
+    }
+}

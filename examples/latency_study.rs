@@ -1,0 +1,39 @@
+//! Latency-sensitivity study on a few representative CPU benchmarks: the
+//! core experiment behind Figs. 6-8 of the paper, reduced to a handful of
+//! benchmarks so it runs in a few seconds.
+//!
+//! Run with: `cargo run --release --example latency_study`
+
+use photonic_disagg::core::cpu_experiments::{
+    run_cpu_experiment_subset, CpuExperimentConfig,
+};
+use photonic_disagg::core::report::format_cpu_results;
+
+fn main() {
+    // Representative benchmarks: one latency-insensitive (swaptions), one
+    // LLC-boundary case (streamcluster), the paper's worst case (nw), and a
+    // random-access workload (canneal).
+    let names = ["swaptions", "streamcluster", "nw", "canneal"];
+    let cfg = CpuExperimentConfig {
+        accesses_per_benchmark: 200_000,
+        latencies_ns: vec![0.0, 25.0, 30.0, 35.0, 85.0],
+        ..CpuExperimentConfig::default()
+    };
+    let mut results = run_cpu_experiment_subset(&cfg, |b| names.contains(&b.name.as_str()));
+    results.sort_by(|a, b| a.benchmark.id().cmp(&b.benchmark.id()));
+
+    println!(
+        "{}",
+        format_cpu_results(
+            "Slowdown vs additional LLC-memory latency (in-order and OOO cores)",
+            &results,
+            &cfg.latencies_ns
+        )
+    );
+    println!("LLC miss rates:");
+    for r in &results {
+        if r.core_kind == cpusim::CoreKind::InOrder {
+            println!("  {:<38} {:.1}%", r.benchmark.id(), r.llc_miss_rate * 100.0);
+        }
+    }
+}

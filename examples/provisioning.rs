@@ -1,0 +1,76 @@
+//! Resource-provisioning scenario: a facility operator asks how many memory
+//! modules and NICs an AWGR-disaggregated rack actually needs to serve the
+//! observed production workload at the same computational throughput — the
+//! Section VI-E analysis plus a flow-level sanity check of the fabric.
+//!
+//! Run with: `cargo run --release --example provisioning`
+
+use photonic_disagg::fabric::flowsim::{Flow, FlowSimConfig, FlowSimulator};
+use photonic_disagg::fabric::rackfabric::{FabricKind, RackFabric, RackFabricConfig};
+use photonic_disagg::rack::bandwidth::BandwidthSufficiency;
+use photonic_disagg::rack::isoperf::IsoPerformanceAnalysis;
+use photonic_disagg::workloads::production::ProductionDistributions;
+
+fn main() {
+    // How often does the fabric's direct bandwidth cover observed demand?
+    let sufficiency = BandwidthSufficiency::paper(200_000, 2026);
+    println!("Observed-demand coverage (from production utilization distributions):");
+    println!(
+        "  direct 125 Gbps path sufficient : {:.2}% of the time",
+        sufficiency.direct_125gbps_sufficient * 100.0
+    );
+    println!(
+        "  one 25 Gbps wavelength enough   : {:.2}% of the time",
+        sufficiency.single_wavelength_sufficient * 100.0
+    );
+
+    // Iso-performance provisioning.
+    let iso = IsoPerformanceAnalysis::paper();
+    println!("\nIso-performance provisioning:");
+    println!(
+        "  DDR4 modules {} -> {}   NICs {} -> {}   CPUs {} -> {}   GPUs {} -> {}",
+        iso.baseline.ddr4_modules,
+        iso.disaggregated.ddr4_modules,
+        iso.baseline.nics,
+        iso.disaggregated.nics,
+        iso.baseline.cpus,
+        iso.disaggregated.cpus,
+        iso.baseline.gpus,
+        iso.disaggregated.gpus
+    );
+    println!(
+        "  total modules {} -> {} ({:.1}% fewer chips)",
+        iso.baseline.total(),
+        iso.disaggregated.total(),
+        iso.chip_reduction() * 100.0
+    );
+
+    // Sanity-check the reduced-memory rack with the flow simulator: the
+    // remaining DDR4 MCMs must still absorb the sampled demand.
+    let fabric = RackFabric::new(RackFabricConfig::paper_rack(FabricKind::ParallelAwgrs));
+    let dist = ProductionDistributions::cori_haswell();
+    let nodes = dist.sample_nodes_stable(128, 99);
+    // After the 4x memory reduction only ~10 DDR4 MCMs remain (256 modules /
+    // 27 per MCM); direct all sampled node demand at them.
+    let ddr4_mcms = 10u32;
+    let flows: Vec<Flow> = nodes
+        .iter()
+        .enumerate()
+        .map(|(i, n)| {
+            Flow::new(
+                (i % 10) as u32,
+                340 + (i as u32 % ddr4_mcms),
+                n.memory_bandwidth_gbs * 8.0,
+            )
+        })
+        .collect();
+    let report = FlowSimulator::new(&fabric, FlowSimConfig::default()).run(&flows);
+    println!("\nFlow-level check of the shrunken memory pool (128 nodes -> 10 DDR4 MCMs):");
+    println!(
+        "  offered {:.1} Gbps, satisfied {:.1} Gbps ({:.2}%), {:.1}% of flows needed indirect routing",
+        report.offered_gbps,
+        report.satisfied_gbps,
+        report.satisfaction() * 100.0,
+        report.indirect_fraction * 100.0
+    );
+}

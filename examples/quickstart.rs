@@ -1,0 +1,32 @@
+//! Quickstart: build the paper's photonically-disaggregated rack, print its
+//! headline properties, and check the paper's analytical claims.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use photonic_disagg::core::rack_analysis::RackAnalysis;
+use photonic_disagg::core::rack_builder::DisaggregatedRack;
+use photonic_disagg::core::report::format_rack_analysis;
+use photonic_disagg::fabric::rackfabric::FabricKind;
+
+fn main() {
+    // 1. Build the rack of the paper: 128 GPU-accelerated nodes repacked
+    //    into 350 single-chip-type MCMs connected by six parallel AWGRs.
+    let rack = DisaggregatedRack::paper(FabricKind::ParallelAwgrs);
+    let summary = rack.summary();
+
+    println!("Photonically-disaggregated rack (case A: parallel AWGRs)");
+    println!("  MCMs                    : {}", summary.total_mcms);
+    println!("  chips packed            : {}", summary.total_chips);
+    println!("  escape bandwidth / MCM  : {:.0} GB/s", summary.mcm_escape_gbs);
+    println!("  min direct wavelengths  : {}", summary.fabric.min_direct_wavelengths);
+    println!("  min direct bandwidth    : {:.0} Gbps", summary.fabric.min_direct_bandwidth_gbps);
+    println!("  disaggregation latency  : {:.1} ns", summary.disaggregation_latency_ns);
+    println!("  photonic power          : {:.1} kW", summary.photonic_power_w / 1000.0);
+    println!("  photonic power overhead : {:.1} %", summary.photonic_overhead_percent);
+    println!();
+
+    // 2. Run the full analytical evaluation (Tables I-IV, BER, power,
+    //    bandwidth sufficiency, iso-performance) and print it.
+    let analysis = RackAnalysis::paper();
+    println!("{}", format_rack_analysis(&analysis));
+}

@@ -1,0 +1,30 @@
+//! # photonic-disagg
+//!
+//! Umbrella crate for the reproduction of *"Efficient Intra-Rack Resource
+//! Disaggregation for HPC Using Co-Packaged DWDM Photonics"* (CLUSTER 2023).
+//!
+//! This crate simply re-exports the workspace crates so that examples and
+//! downstream users have a single dependency:
+//!
+//! * [`photonics`] — photonic links, switches, FEC/BER and power models.
+//! * [`fabric`] — the rack-scale optical fabric, indirect routing, the flow
+//!   simulator, and the electronic-switch baselines.
+//! * [`cpusim`] — the trace-driven CPU timing simulator.
+//! * [`gpusim`] — the analytical GPU timing simulator.
+//! * [`workloads`] — synthetic benchmark kernels and production utilization
+//!   distributions.
+//! * [`rack`] — rack/node/MCM configuration and iso-performance analysis.
+//! * [`core`](disagg_core) — experiment drivers that regenerate every table
+//!   and figure of the paper.
+
+pub use cpusim;
+pub use disagg_core as core;
+pub use disagg_core;
+pub use fabric;
+pub use gpusim;
+pub use photonics;
+pub use rack;
+pub use workloads;
+
+/// Crate version of the umbrella package.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

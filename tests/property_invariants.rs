@@ -1,0 +1,119 @@
+//! Property-based integration tests on cross-crate invariants: the AWGR
+//! all-to-all property at arbitrary sizes, conservation of wavelength
+//! capacity in the flow simulator, monotonicity of the CPU and GPU timing
+//! models in the added latency, and MCM packing preserving escape bandwidth.
+
+use photonic_disagg::cpusim::{CoreKind, CpuConfig, Simulator};
+use photonic_disagg::fabric::awgr::Awgr;
+use photonic_disagg::fabric::flowsim::{Flow, FlowSimConfig, FlowSimulator};
+use photonic_disagg::fabric::rackfabric::{FabricKind, RackFabric, RackFabricConfig};
+use photonic_disagg::gpusim::{GpuConfig, GpuTimingModel};
+use photonic_disagg::photonics::units::Bandwidth;
+use photonic_disagg::rack::chips::{ChipKind, ChipSpec};
+use photonic_disagg::rack::mcm::McmPacking;
+use photonic_disagg::workloads::gpu::gpu_applications;
+use photonic_disagg::workloads::patterns::{AccessPattern, PatternParams};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every AWGR size yields a perfect all-to-all (each input reaches each
+    /// output on exactly one wavelength).
+    #[test]
+    fn awgr_all_to_all_for_any_size(ports in 1u32..200) {
+        prop_assert!(Awgr::new(ports).verify_all_to_all());
+    }
+
+    /// Any rack size keeps at least the five-wavelength AWGR guarantee and
+    /// at least one shared switch for the wave-selective fabric.
+    #[test]
+    fn fabric_connectivity_holds_for_any_rack_size(mcms in 8u32..200) {
+        let mut cfg = RackFabricConfig::paper_rack(FabricKind::ParallelAwgrs);
+        cfg.mcm_count = mcms;
+        let awgr = RackFabric::new(cfg).report();
+        prop_assert!(awgr.min_direct_wavelengths >= 5);
+
+        let mut cfg = RackFabricConfig::paper_rack(FabricKind::WaveSelective);
+        cfg.mcm_count = mcms;
+        let wss = RackFabric::new(cfg).report();
+        prop_assert!(wss.min_direct_wavelengths >= 256);
+    }
+
+    /// The flow simulator never reports more satisfied bandwidth than was
+    /// offered, and per-flow allocations never exceed their demand.
+    #[test]
+    fn flow_simulator_conserves_demand(
+        seed in 0u64..1_000,
+        n_flows in 1usize..40,
+        demand in 1.0f64..4_000.0,
+    ) {
+        let mut cfg = RackFabricConfig::paper_rack(FabricKind::ParallelAwgrs);
+        cfg.mcm_count = 32;
+        let fabric = RackFabric::new(cfg);
+        let flows: Vec<Flow> = (0..n_flows)
+            .map(|i| {
+                let src = (seed as u32 + i as u32) % 32;
+                let dst = (seed as u32 + 3 * i as u32 + 1) % 32;
+                Flow::new(src, dst, demand)
+            })
+            .collect();
+        let report = FlowSimulator::new(&fabric, FlowSimConfig { seed, ..Default::default() }).run(&flows);
+        prop_assert!(report.satisfied_gbps <= report.offered_gbps + 1e-6);
+        for a in &report.allocations {
+            prop_assert!(a.satisfied_gbps() <= a.flow.demand_gbps + 1e-6);
+        }
+    }
+
+    /// CPU execution time is monotonically non-decreasing in the added
+    /// LLC-to-memory latency, for every access pattern and core model.
+    #[test]
+    fn cpu_cycles_monotonic_in_latency(
+        pattern_idx in 0usize..AccessPattern::ALL.len(),
+        ws_kib in 64u64..4096,
+        seed in 0u64..100,
+    ) {
+        let pattern = AccessPattern::ALL[pattern_idx];
+        let params = PatternParams::new(ws_kib * 1024, 5_000).seed(seed);
+        let trace = pattern.generate(&params);
+        for kind in CoreKind::ALL {
+            let mut prev = 0u64;
+            for extra in [0.0, 35.0, 85.0] {
+                let result = Simulator::new(
+                    CpuConfig::baseline(kind).with_extra_latency_ns(extra),
+                )
+                .with_warmup(true)
+                .run(&trace);
+                prop_assert!(result.cycles >= prev);
+                prev = result.cycles;
+            }
+        }
+    }
+
+    /// GPU predicted cycles are monotonically non-decreasing in the added
+    /// HBM latency for every registered application.
+    #[test]
+    fn gpu_cycles_monotonic_in_latency(app_idx in 0usize..24, extra in 0.0f64..200.0) {
+        let apps = gpu_applications();
+        let app = &apps[app_idx];
+        let base = GpuTimingModel::new(GpuConfig::a100()).run(app);
+        let slowed =
+            GpuTimingModel::new(GpuConfig::a100().with_extra_hbm_latency_ns(extra)).run(app);
+        prop_assert!(slowed.total_cycles >= base.total_cycles - 1e-9);
+    }
+
+    /// MCM packing always preserves per-chip escape bandwidth, for any chip
+    /// type and any MCM escape bandwidth at least as large as one chip's.
+    #[test]
+    fn mcm_packing_preserves_escape_bandwidth(
+        kind_idx in 0usize..ChipKind::ALL.len(),
+        escape_tbs in 2.0f64..20.0,
+        chips in 1u32..4096,
+    ) {
+        let spec = ChipSpec::baseline(ChipKind::ALL[kind_idx]);
+        let packing = McmPacking::pack(&spec, chips, Bandwidth::from_tbytes_per_s(escape_tbs));
+        prop_assert!(packing.preserves_escape_bandwidth(&spec));
+        prop_assert!(packing.chips_per_mcm >= 1);
+        prop_assert!(packing.mcms_per_rack as u64 * packing.chips_per_mcm as u64 >= chips as u64);
+    }
+}
