@@ -4,8 +4,8 @@
 //! models and simulators take, which is what a downstream user of the
 //! library cares about when embedding them.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cpusim::{CoreKind, CpuConfig, Simulator};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use disagg_core::cpu_experiments::{run_cpu_experiment_subset, CpuExperimentConfig};
 use disagg_core::gpu_experiments::{run_gpu_experiment, GpuExperimentConfig};
 use disagg_core::rack_analysis::RackAnalysis;
@@ -26,7 +26,9 @@ use workloads::production::ProductionDistributions;
 fn bench_tables(c: &mut Criterion) {
     let mut g = c.benchmark_group("tables");
     g.bench_function("table1_link_sizing", |b| b.iter(EscapeSizing::table_i_rows));
-    g.bench_function("table3_mcm_packing", |b| b.iter(RackComposition::paper_rack));
+    g.bench_function("table3_mcm_packing", |b| {
+        b.iter(RackComposition::paper_rack)
+    });
     g.finish();
 }
 
@@ -38,11 +40,7 @@ fn bench_fabric(c: &mut Criterion) {
         g.bench_with_input(
             BenchmarkId::new("connectivity_report", format!("{kind:?}")),
             &kind,
-            |b, &kind| {
-                b.iter(|| {
-                    RackFabric::new(RackFabricConfig::paper_rack(kind)).report()
-                })
-            },
+            |b, &kind| b.iter(|| RackFabric::new(RackFabricConfig::paper_rack(kind)).report()),
         );
     }
     g.bench_function("indirect_routing_1000_flows", |b| {
@@ -65,7 +63,13 @@ fn bench_fabric(c: &mut Criterion) {
         let flows: Vec<Flow> = nodes
             .iter()
             .enumerate()
-            .map(|(i, n)| Flow::new((i % 10) as u32, 312 + (i % 38) as u32, n.memory_bandwidth_gbs * 8.0))
+            .map(|(i, n)| {
+                Flow::new(
+                    (i % 10) as u32,
+                    312 + (i % 38) as u32,
+                    n.memory_bandwidth_gbs * 8.0,
+                )
+            })
             .collect();
         b.iter(|| FlowSimulator::new(&fabric, FlowSimConfig::default()).run(&flows))
     });

@@ -11,7 +11,10 @@ use workloads::production::ProductionDistributions;
 
 fn main() {
     let s = BandwidthSufficiency::paper(200_000, 0xBEEF);
-    println!("Bandwidth sufficiency (Section VI-A1, {} samples)", s.samples);
+    println!(
+        "Bandwidth sufficiency (Section VI-A1, {} samples)",
+        s.samples
+    );
     println!(
         "  direct 125 Gbps sufficient      : {:.3} % of the time",
         s.direct_125gbps_sufficient * 100.0
@@ -23,11 +26,26 @@ fn main() {
 
     let b = GpuBandwidthBudget::paper_awgr();
     println!("\nGPU bandwidth budget with indirect routing");
-    println!("  indirect reach              : {:.0} GB/s", b.indirect_reach_gbs);
-    println!("  HBM demand                  : {:.1} GB/s", b.hbm_demand_gbs);
-    println!("  headroom after HBM          : {:.1} GB/s", b.headroom_after_hbm_gbs);
-    println!("  GPU-GPU demand              : {:.1} GB/s", b.gpu_to_gpu_demand_gbs);
-    println!("  headroom after GPU traffic  : {:.1} GB/s", b.headroom_after_gpu_traffic_gbs);
+    println!(
+        "  indirect reach              : {:.0} GB/s",
+        b.indirect_reach_gbs
+    );
+    println!(
+        "  HBM demand                  : {:.1} GB/s",
+        b.hbm_demand_gbs
+    );
+    println!(
+        "  headroom after HBM          : {:.1} GB/s",
+        b.headroom_after_hbm_gbs
+    );
+    println!(
+        "  GPU-GPU demand              : {:.1} GB/s",
+        b.gpu_to_gpu_demand_gbs
+    );
+    println!(
+        "  headroom after GPU traffic  : {:.1} GB/s",
+        b.headroom_after_gpu_traffic_gbs
+    );
 
     // Flow-level check: CPU-memory demand sampled from the production
     // distributions, one flow per CPU<->DDR4 MCM pair.
@@ -48,8 +66,18 @@ fn main() {
     let report = FlowSimulator::new(&fabric, FlowSimConfig::default()).run(&flows);
     println!("\nFlow-level simulation of sampled CPU->DDR4 demand (128 nodes)");
     println!("  offered      : {:.1} Gbps", report.offered_gbps);
-    println!("  satisfied    : {:.1} Gbps ({:.2}%)", report.satisfied_gbps, report.satisfaction() * 100.0);
-    println!("  direct only  : {:.1}% of flows", report.direct_only_fraction * 100.0);
-    println!("  indirect     : {:.1}% of flows", report.indirect_fraction * 100.0);
+    println!(
+        "  satisfied    : {:.1} Gbps ({:.2}%)",
+        report.satisfied_gbps,
+        report.satisfaction() * 100.0
+    );
+    println!(
+        "  direct only  : {:.1}% of flows",
+        report.direct_only_fraction * 100.0
+    );
+    println!(
+        "  indirect     : {:.1}% of flows",
+        report.indirect_fraction * 100.0
+    );
     println!("  mean latency : {:.1} ns", report.mean_latency_ns);
 }

@@ -16,16 +16,37 @@ fn main() {
     ] {
         let out = model.analyze();
         println!("\n  {label}");
-        println!("    flit error probability      : {:.3e}", out.flit_error_probability);
-        println!("    post-FEC flit error prob.   : {:.3e}", out.post_fec_flit_error_probability);
-        println!("    retransmission probability  : {:.3e}", out.retransmission_probability);
-        println!("    silent error probability    : {:.3e}", out.silent_error_probability);
-        println!("    effective BER               : {:.3e}", out.effective_ber);
+        println!(
+            "    flit error probability      : {:.3e}",
+            out.flit_error_probability
+        );
+        println!(
+            "    post-FEC flit error prob.   : {:.3e}",
+            out.post_fec_flit_error_probability
+        );
+        println!(
+            "    retransmission probability  : {:.3e}",
+            out.retransmission_probability
+        );
+        println!(
+            "    silent error probability    : {:.3e}",
+            out.silent_error_probability
+        );
+        println!(
+            "    effective BER               : {:.3e}",
+            out.effective_ber
+        );
         println!(
             "    meets 1e-18 memory target   : {}",
             model.meets_ber_target(LinkErrorModel::MEMORY_BER_TARGET)
         );
-        println!("    FEC latency                 : {:.1} ns", model.fec.latency().ns());
-        println!("    bandwidth overhead          : {:.3} %", model.fec.bandwidth_overhead() * 100.0);
+        println!(
+            "    FEC latency                 : {:.1} ns",
+            model.fec.latency().ns()
+        );
+        println!(
+            "    bandwidth overhead          : {:.3} %",
+            model.fec.bandwidth_overhead() * 100.0
+        );
     }
 }

@@ -28,26 +28,45 @@ fn main() {
     eprintln!("running CPU sweep: scale=1/{scale}, {accesses} accesses per benchmark ...");
     let start = std::time::Instant::now();
     let mut results = run_cpu_experiment(&cfg);
-    results.sort_by(|a, b| a.benchmark.id().cmp(&b.benchmark.id()).then(
-        (a.core_kind as u8).cmp(&(b.core_kind as u8))));
+    results.sort_by(|a, b| {
+        a.benchmark
+            .id()
+            .cmp(&b.benchmark.id())
+            .then((a.core_kind as u8).cmp(&(b.core_kind as u8)))
+    });
     eprintln!("CPU sweep took {:.1}s", start.elapsed().as_secs_f64());
 
-    println!("{}", report::format_cpu_results("Per-benchmark slowdowns", &results, &cfg.latencies_ns));
+    println!(
+        "{}",
+        report::format_cpu_results("Per-benchmark slowdowns", &results, &cfg.latencies_ns)
+    );
     println!();
     let summaries = summarize_by_suite(&results, 35.0);
-    println!("{}", report::format_suite_summaries("Suite summaries at +35 ns", &summaries));
+    println!(
+        "{}",
+        report::format_suite_summaries("Suite summaries at +35 ns", &summaries)
+    );
 
     for kind in [cpusim::CoreKind::InOrder, cpusim::CoreKind::OutOfOrder] {
         let corr = miss_rate_correlation(&results, 35.0, |r| r.core_kind == kind);
-        println!("Pearson slowdown vs LLC miss rate ({kind}): {:?}", corr.pearson);
+        println!(
+            "Pearson slowdown vs LLC miss rate ({kind}): {:?}",
+            corr.pearson
+        );
     }
 
     let gpu = run_gpu_experiment(&GpuExperimentConfig::default());
-    println!("\nGPU average slowdown @35ns: {:.2}%", average_slowdown(&gpu, 35.0));
+    println!(
+        "\nGPU average slowdown @35ns: {:.2}%",
+        average_slowdown(&gpu, 35.0)
+    );
     let c = gpu_correlations(&gpu, 35.0);
     println!(
         "GPU correlations: miss={:?} hbm={:?} memfrac={:?}",
         c.with_l2_miss_rate, c.with_hbm_transactions, c.with_memory_fraction
     );
-    println!("{}", report::format_gpu_results("GPU slowdowns", &gpu, &[25.0, 30.0, 35.0, 85.0]));
+    println!(
+        "{}",
+        report::format_gpu_results("GPU slowdowns", &gpu, &[25.0, 30.0, 35.0, 85.0])
+    );
 }

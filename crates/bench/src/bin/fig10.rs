@@ -25,6 +25,12 @@ fn main() {
     let c = gpu_correlations(&results, 35.0);
     println!("\nPearson correlations of slowdown with:");
     println!("  LLC (L2) miss rate          : {:?}", c.with_l2_miss_rate);
-    println!("  HBM transactions/instruction: {:?}", c.with_hbm_transactions);
-    println!("  memory instruction fraction : {:?}", c.with_memory_fraction);
+    println!(
+        "  HBM transactions/instruction: {:?}",
+        c.with_hbm_transactions
+    );
+    println!(
+        "  memory instruction fraction : {:?}",
+        c.with_memory_fraction
+    );
 }

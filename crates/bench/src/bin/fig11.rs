@@ -19,7 +19,10 @@ fn main() {
     let gpu = run_gpu_experiment(&GpuExperimentConfig::default());
 
     println!("Fig. 11 — CPU vs GPU slowdown on shared Rodinia benchmarks (+35 ns)");
-    println!("{:<16} {:>12} {:>12} {:>10}", "benchmark", "in-order CPU", "OOO CPU", "GPU");
+    println!(
+        "{:<16} {:>12} {:>12} {:>10}",
+        "benchmark", "in-order CPU", "OOO CPU", "GPU"
+    );
     for name in &shared {
         let io = cpu
             .iter()

@@ -24,7 +24,10 @@ fn main() {
     });
     println!(
         "{}",
-        format_miss_rate_rows("Fig. 7 (left) — PARSEC large, in-order", &parsec_large.points)
+        format_miss_rate_rows(
+            "Fig. 7 (left) — PARSEC large, in-order",
+            &parsec_large.points
+        )
     );
     println!("Pearson r = {:?}\n", parsec_large.pearson);
 
@@ -40,7 +43,10 @@ fn main() {
     let parsec_all = miss_rate_correlation(&results, 35.0, |r| {
         r.core_kind == CoreKind::InOrder && r.benchmark.suite == CpuSuite::Parsec
     });
-    println!("PARSEC all inputs, in-order: Pearson r = {:?}", parsec_all.pearson);
+    println!(
+        "PARSEC all inputs, in-order: Pearson r = {:?}",
+        parsec_all.pearson
+    );
     for kind in [CoreKind::InOrder, CoreKind::OutOfOrder] {
         let all = miss_rate_correlation(&results, 35.0, |r| r.core_kind == kind);
         println!("All suites, {kind}: Pearson r = {:?}", all.pearson);

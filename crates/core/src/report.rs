@@ -80,7 +80,11 @@ pub fn format_cpu_results(
     }
     out.push('\n');
     for r in results {
-        out.push_str(&format!("{:<38} {:<9}", r.benchmark.id(), r.core_kind.to_string()));
+        out.push_str(&format!(
+            "{:<38} {:<9}",
+            r.benchmark.id(),
+            r.core_kind.to_string()
+        ));
         for &l in latencies_ns {
             match r.slowdown_at(l) {
                 Some(s) => out.push_str(&format!(" {s:>7.1}%")),
@@ -201,7 +205,10 @@ pub fn format_rack_analysis(analysis: &RackAnalysis) -> String {
 
     out.push_str("\nHeadline claims\n");
     for (claim, holds) in analysis.headline_claims() {
-        out.push_str(&format!("  [{}] {claim}\n", if holds { "ok" } else { "FAIL" }));
+        out.push_str(&format!(
+            "  [{}] {claim}\n",
+            if holds { "ok" } else { "FAIL" }
+        ));
     }
     out
 }

@@ -131,7 +131,10 @@ impl Cache {
     #[inline]
     fn index_and_tag(&self, addr: u64) -> (usize, u64) {
         let line = addr >> self.line_shift;
-        ((line & self.set_mask) as usize, line >> self.set_mask.count_ones())
+        (
+            (line & self.set_mask) as usize,
+            line >> self.set_mask.count_ones(),
+        )
     }
 
     /// Access the cache. On a miss the line is allocated (write-allocate) and

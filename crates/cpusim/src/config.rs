@@ -30,13 +30,16 @@ impl CacheConfig {
     /// sets and line size, capacity divisible by way size).
     pub fn validate(&self) -> Result<(), String> {
         if self.line_bytes == 0 || !self.line_bytes.is_power_of_two() {
-            return Err(format!("line size {} must be a power of two", self.line_bytes));
+            return Err(format!(
+                "line size {} must be a power of two",
+                self.line_bytes
+            ));
         }
         if self.associativity == 0 {
             return Err("associativity must be non-zero".to_string());
         }
         let way_bytes = self.associativity as u64 * self.line_bytes as u64;
-        if self.capacity_bytes == 0 || self.capacity_bytes % way_bytes != 0 {
+        if self.capacity_bytes == 0 || !self.capacity_bytes.is_multiple_of(way_bytes) {
             return Err(format!(
                 "capacity {} is not a multiple of associativity*line ({})",
                 self.capacity_bytes, way_bytes
@@ -353,7 +356,10 @@ mod tests {
     fn core_kind_display_and_defaults() {
         assert_eq!(CoreKind::InOrder.to_string(), "in-order");
         assert_eq!(CoreKind::OutOfOrder.to_string(), "OOO");
-        assert_eq!(CoreConfig::for_kind(CoreKind::InOrder).kind, CoreKind::InOrder);
+        assert_eq!(
+            CoreConfig::for_kind(CoreKind::InOrder).kind,
+            CoreKind::InOrder
+        );
         assert_eq!(
             CoreConfig::for_kind(CoreKind::OutOfOrder).kind,
             CoreKind::OutOfOrder

@@ -148,9 +148,8 @@ impl TimingCore for OutOfOrderCore {
     fn execute_compute(&mut self, n: u64) {
         let width = self.config.issue_width.max(1) as u64;
         self.breakdown.compute_cycles += n.div_ceil(width);
-        self.instructions_since_cluster_start = self
-            .instructions_since_cluster_start
-            .saturating_add(n);
+        self.instructions_since_cluster_start =
+            self.instructions_since_cluster_start.saturating_add(n);
     }
 
     fn execute_access(&mut self, outcome: AccessOutcome) {
@@ -297,7 +296,10 @@ mod tests {
         };
         let narrow = run(2);
         let wide = run(8);
-        assert!(narrow > wide, "MLP=2 ({narrow}) should stall more than MLP=8 ({wide})");
+        assert!(
+            narrow > wide,
+            "MLP=2 ({narrow}) should stall more than MLP=8 ({wide})"
+        );
         // With MLP=2, at least 4 of the 8 misses are cluster leaders; even
         // after ROB hiding that is several full round trips of stall.
         assert!(narrow >= 3 * 200, "got {narrow}");

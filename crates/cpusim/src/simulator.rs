@@ -126,14 +126,24 @@ impl Simulator {
             CoreKind::InOrder => {
                 let mut core = InOrderCore::new(self.config.core);
                 self.drive(trace, &mut hierarchy, &mut core);
-                self.finish(trace, &hierarchy, core.breakdown().memory_stall_cycles,
-                    core.breakdown().cache_stall_cycles, core.cycles())
+                self.finish(
+                    trace,
+                    &hierarchy,
+                    core.breakdown().memory_stall_cycles,
+                    core.breakdown().cache_stall_cycles,
+                    core.cycles(),
+                )
             }
             CoreKind::OutOfOrder => {
                 let mut core = OutOfOrderCore::new(self.config.core);
                 self.drive(trace, &mut hierarchy, &mut core);
-                self.finish(trace, &hierarchy, core.breakdown().memory_stall_cycles,
-                    core.breakdown().cache_stall_cycles, core.cycles())
+                self.finish(
+                    trace,
+                    &hierarchy,
+                    core.breakdown().memory_stall_cycles,
+                    core.breakdown().cache_stall_cycles,
+                    core.cycles(),
+                )
             }
         }
     }

@@ -67,7 +67,11 @@ pub fn mean(values: &[f64]) -> f64 {
 
 /// Maximum of a slice; 0.0 for an empty slice.
 pub fn max(values: &[f64]) -> f64 {
-    values.iter().copied().fold(f64::NEG_INFINITY, f64::max).max(0.0)
+    values
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max)
+        .max(0.0)
 }
 
 #[cfg(test)]
@@ -112,7 +116,10 @@ mod tests {
         let xs = [1.0, 2.0, 3.0, 5.0, 8.0];
         let ys = [0.11, 0.12, 0.13, 0.15, 0.18];
         let r = pearson_correlation(&xs, &ys).unwrap();
-        assert!((r - 1.0).abs() < 1e-9, "linear relation should give r=1, got {r}");
+        assert!(
+            (r - 1.0).abs() < 1e-9,
+            "linear relation should give r=1, got {r}"
+        );
     }
 
     #[test]

@@ -242,7 +242,10 @@ mod tests {
 
     #[test]
     fn display_names() {
-        assert_eq!(ElectronicSwitchKind::PcieGen5Tree.to_string(), "PCIe Gen5 tree");
+        assert_eq!(
+            ElectronicSwitchKind::PcieGen5Tree.to_string(),
+            "PCIe Gen5 tree"
+        );
         assert_eq!(ElectronicSwitchKind::Anton3.to_string(), "Anton 3");
     }
 }

@@ -154,8 +154,7 @@ impl<'a> FlowSimulator<'a> {
                 direct_shares.push(flow.demand_gbps.max(0.0));
                 continue;
             }
-            let needed =
-                (flow.demand_gbps / gbps_per_wavelength).ceil().max(0.0) as u32;
+            let needed = (flow.demand_gbps / gbps_per_wavelength).ceil().max(0.0) as u32;
             let free = board.free_wavelengths(self.fabric, flow.src, flow.dst);
             let granted = needed.min(free);
             board.occupy(flow.src, flow.dst, granted);
@@ -168,8 +167,7 @@ impl<'a> FlowSimulator<'a> {
             let mut indirect_gbps = 0.0;
             let residual = flow.demand_gbps - direct_gbps;
             if residual > 1e-9 && flow.src != flow.dst {
-                let mut remaining_wavelengths =
-                    (residual / gbps_per_wavelength).ceil() as u32;
+                let mut remaining_wavelengths = (residual / gbps_per_wavelength).ceil() as u32;
                 // Candidate intermediates in random (Valiant) order.
                 let mut candidates: Vec<u32> = (0..mcm_count)
                     .filter(|&m| m != flow.src && m != flow.dst)

@@ -237,7 +237,12 @@ impl RackFabric {
             }
             _ => {
                 let shared = self.shared_switches(a, b);
-                shared * self.config.kind.switch_config().effective_wavelengths_per_port()
+                shared
+                    * self
+                        .config
+                        .kind
+                        .switch_config()
+                        .effective_wavelengths_per_port()
             }
         }
     }
@@ -384,7 +389,7 @@ mod tests {
             let ab = f.direct_wavelengths(a, b);
             let ba = f.direct_wavelengths(b, a);
             assert!(ab.abs_diff(ba) <= 1, "({a},{b}): {ab} vs {ba}");
-            assert!(ab >= 5 && ab <= 6);
+            assert!((5..=6).contains(&ab));
         }
     }
 

@@ -404,7 +404,13 @@ mod tests {
         let fabric = small_awgr_fabric();
         let mut board = OccupancyBoard::new(32);
         let mut router = IndirectRouter::with_fresh_state(11);
-        assert_eq!(router.route(&fabric, &mut board, 3, 3, 5), RouteDecision::Direct);
-        assert_eq!(router.route(&fabric, &mut board, 0, 1, 0), RouteDecision::Direct);
+        assert_eq!(
+            router.route(&fabric, &mut board, 3, 3, 5),
+            RouteDecision::Direct
+        );
+        assert_eq!(
+            router.route(&fabric, &mut board, 0, 1, 0),
+            RouteDecision::Direct
+        );
     }
 }

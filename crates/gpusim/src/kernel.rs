@@ -217,11 +217,8 @@ mod tests {
 
     #[test]
     fn application_aggregates() {
-        let app = ApplicationProfile::new(
-            "test",
-            "rodinia",
-            vec![kernel(0.5, 0.5), kernel(0.5, 1.0)],
-        );
+        let app =
+            ApplicationProfile::new("test", "rodinia", vec![kernel(0.5, 0.5), kernel(0.5, 1.0)]);
         assert_eq!(app.kernel_count(), 2);
         assert_eq!(app.total_instructions(), 2_000_000);
         // Kernel 1: 300k HBM; kernel 2: 0.

@@ -201,7 +201,10 @@ mod tests {
         let model = GpuTimingModel::new(GpuConfig::a100());
         let sweep = model.latency_sweep(&app(memory_bound_kernel()), &[0.0, 35.0]);
         let slowdown = sweep[1].slowdown_vs(&sweep[0]);
-        assert!(slowdown > 1.0, "memory-bound kernel should slow down, got {slowdown}%");
+        assert!(
+            slowdown > 1.0,
+            "memory-bound kernel should slow down, got {slowdown}%"
+        );
     }
 
     #[test]
@@ -209,7 +212,10 @@ mod tests {
         let model = GpuTimingModel::new(GpuConfig::a100());
         let sweep = model.latency_sweep(&app(compute_bound_kernel()), &[0.0, 35.0]);
         let slowdown = sweep[1].slowdown_vs(&sweep[0]);
-        assert!(slowdown < 1.0, "compute-bound kernel should barely slow down, got {slowdown}%");
+        assert!(
+            slowdown < 1.0,
+            "compute-bound kernel should barely slow down, got {slowdown}%"
+        );
     }
 
     #[test]
@@ -226,7 +232,8 @@ mod tests {
     #[test]
     fn slowdown_monotonic_in_latency() {
         let model = GpuTimingModel::new(GpuConfig::a100());
-        let sweep = model.latency_sweep(&app(memory_bound_kernel()), &[0.0, 25.0, 30.0, 35.0, 85.0]);
+        let sweep =
+            model.latency_sweep(&app(memory_bound_kernel()), &[0.0, 25.0, 30.0, 35.0, 85.0]);
         for pair in sweep.windows(2) {
             assert!(pair[1].total_cycles >= pair[0].total_cycles);
         }

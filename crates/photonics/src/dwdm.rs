@@ -248,7 +248,7 @@ mod tests {
         // 15 ns OEO + 20 ns (4 m) propagation + ~2 ns FEC ≈ 35 ns budget.
         let link = DwdmLinkBuilder::new().build();
         let lat = link.disaggregation_latency().ns();
-        assert!(lat >= 34.0 && lat <= 38.0, "got {lat} ns");
+        assert!((34.0..=38.0).contains(&lat), "got {lat} ns");
     }
 
     #[test]
@@ -257,7 +257,7 @@ mod tests {
         // 25 and 30 ns for improved photonics / shorter racks.
         let link = DwdmLinkBuilder::new().reach_m(2.0).build();
         let lat = link.disaggregation_latency().ns();
-        assert!(lat >= 25.0 && lat <= 30.0, "got {lat} ns");
+        assert!((25.0..=30.0).contains(&lat), "got {lat} ns");
     }
 
     #[test]

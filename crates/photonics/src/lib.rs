@@ -41,9 +41,7 @@ pub mod units;
 
 pub use dwdm::{DwdmLink, DwdmLinkBuilder, LinkLatencyBreakdown};
 pub use fec::{FecConfig, FecOutcome, LinkErrorModel};
-pub use link::{LinkTechnology, LinkTechnologyKind, EscapeSizing};
+pub use link::{EscapeSizing, LinkTechnology, LinkTechnologyKind};
 pub use power::{PhotonicPowerModel, RackPhotonicPower};
-pub use switch::{
-    CascadedAwgr, OpticalSwitch, OpticalSwitchKind, SwitchConfig, SwitchPortBudget,
-};
+pub use switch::{CascadedAwgr, OpticalSwitch, OpticalSwitchKind, SwitchConfig, SwitchPortBudget};
 pub use units::{Bandwidth, Energy, Latency, OpticalPowerDb};

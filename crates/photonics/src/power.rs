@@ -59,7 +59,11 @@ impl PhotonicPowerModel {
 
     /// Power drawn by all transceivers (watts).
     pub fn transceiver_power_w(&self) -> f64 {
-        let active = if self.always_on { 1.0 } else { self.utilization };
+        let active = if self.always_on {
+            1.0
+        } else {
+            self.utilization
+        };
         self.transceiver_energy_per_bit
             .power_at(self.rack_escape_bandwidth())
             * active

@@ -433,10 +433,7 @@ mod tests {
         assert_eq!(SwitchConfig::Spatial.effective_radix(), 256);
         for cfg in SwitchConfig::ALL {
             assert!((cfg.channel_bandwidth().gbps() - 25.0).abs() < 1e-9);
-            assert_eq!(
-                cfg.effective_wavelengths_per_port(),
-                cfg.effective_radix()
-            );
+            assert_eq!(cfg.effective_wavelengths_per_port(), cfg.effective_radix());
         }
     }
 

@@ -32,8 +32,11 @@ impl BandwidthSufficiency {
     /// Estimate the sufficiency probabilities from the production
     /// distributions.
     pub fn estimate(dist: &ProductionDistributions, samples: usize, seed: u64) -> Self {
-        let direct_exceed =
-            dist.probability_memory_bandwidth_exceeds(Bandwidth::from_gbps(125.0).gbytes_per_s(), samples, seed);
+        let direct_exceed = dist.probability_memory_bandwidth_exceeds(
+            Bandwidth::from_gbps(125.0).gbytes_per_s(),
+            samples,
+            seed,
+        );
         let single_exceed = dist.probability_memory_bandwidth_exceeds(
             Bandwidth::from_gbps(25.0).gbytes_per_s(),
             samples,

@@ -149,8 +149,8 @@ impl IsoPerformanceAnalysis {
         // compute doubles throughput when the additions match the baseline
         // node mix.
         let baseline_compute = (self.baseline.cpus + self.baseline.gpus) as f64;
-        let throughput = 1.0 + extra_packages as f64 * (baseline_compute / 128.0)
-            / baseline_compute;
+        let throughput =
+            1.0 + extra_packages as f64 * (baseline_compute / 128.0) / baseline_compute;
         (increase, throughput)
     }
 }

@@ -49,7 +49,8 @@ impl RackPowerModel {
     /// Run the photonic-overhead analysis against the paper's comparison
     /// baseline.
     pub fn photonic_overhead(&self) -> RackPhotonicPower {
-        self.photonics.rack_overhead(self.paper_comparison_power_w())
+        self.photonics
+            .rack_overhead(self.paper_comparison_power_w())
     }
 }
 

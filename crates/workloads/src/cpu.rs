@@ -156,23 +156,65 @@ fn parsec_table() -> Vec<(&'static str, AccessPattern, [u64; 3], u32, f64)> {
     vec![
         // Option pricing: streaming over small option arrays, compute heavy
         // and LLC-resident at all input sizes.
-        ("blackscholes", AccessPattern::Streaming, [1, 2, 3], 40, 0.15),
+        (
+            "blackscholes",
+            AccessPattern::Streaming,
+            [1, 2, 3],
+            40,
+            0.15,
+        ),
         // Body tracking: blocked image processing with good reuse.
-        ("bodytrack", AccessPattern::BlockedDense, [1, 4, 16], 24, 0.2),
+        (
+            "bodytrack",
+            AccessPattern::BlockedDense,
+            [1, 4, 16],
+            24,
+            0.2,
+        ),
         // Simulated annealing over a netlist: random pointer-heavy accesses
         // over a footprint far larger than the LLC.
-        ("canneal", AccessPattern::RandomAccess, [16, 64, 256], 6, 0.25),
+        (
+            "canneal",
+            AccessPattern::RandomAccess,
+            [16, 64, 256],
+            6,
+            0.25,
+        ),
         // Deduplication: hash-table lookups over a growing footprint.
         ("dedup", AccessPattern::GraphTraversal, [8, 24, 96], 28, 0.3),
         // Content-based similarity search: index walks + random lookups.
-        ("ferret", AccessPattern::GraphTraversal, [4, 12, 48], 30, 0.2),
+        (
+            "ferret",
+            AccessPattern::GraphTraversal,
+            [4, 12, 48],
+            30,
+            0.2,
+        ),
         // SPH fluid simulation: neighbourhood (stencil-like) sweeps.
-        ("fluidanimate", AccessPattern::Stencil2D, [4, 16, 64], 26, 0.3),
+        (
+            "fluidanimate",
+            AccessPattern::Stencil2D,
+            [4, 16, 64],
+            26,
+            0.3,
+        ),
         // Frequent itemset mining: pointer chasing through an FP-tree.
-        ("freqmine", AccessPattern::PointerChase, [4, 16, 64], 12, 0.1),
+        (
+            "freqmine",
+            AccessPattern::PointerChase,
+            [4, 16, 64],
+            12,
+            0.1,
+        ),
         // Online clustering: repeated passes over the point set. Small and
         // medium fit in the LLC; large does not (the paper calls this out).
-        ("streamcluster", AccessPattern::RepeatedPasses, [1, 3, 16], 9, 0.1),
+        (
+            "streamcluster",
+            AccessPattern::RepeatedPasses,
+            [1, 3, 16],
+            9,
+            0.1,
+        ),
         // Swaption pricing: Monte-Carlo over small per-thread state.
         ("swaptions", AccessPattern::Streaming, [1, 2, 3], 50, 0.15),
     ]
@@ -231,12 +273,28 @@ pub fn cpu_benchmarks() -> Vec<CpuBenchmark> {
     let mut v = Vec::new();
     for (name, pattern, ws, compute, wf) in parsec_table() {
         for (i, input) in InputSize::GRADED.iter().enumerate() {
-            v.push(bench(name, CpuSuite::Parsec, *input, pattern, ws[i] * MIB, compute, wf));
+            v.push(bench(
+                name,
+                CpuSuite::Parsec,
+                *input,
+                pattern,
+                ws[i] * MIB,
+                compute,
+                wf,
+            ));
         }
     }
     for (name, pattern, ws, compute, wf) in nas_table() {
         for (i, input) in InputSize::GRADED.iter().enumerate() {
-            v.push(bench(name, CpuSuite::Nas, *input, pattern, ws[i] * MIB, compute, wf));
+            v.push(bench(
+                name,
+                CpuSuite::Nas,
+                *input,
+                pattern,
+                ws[i] * MIB,
+                compute,
+                wf,
+            ));
         }
     }
     for (name, pattern, ws, compute, wf) in rodinia_table() {
@@ -255,7 +313,10 @@ pub fn cpu_benchmarks() -> Vec<CpuBenchmark> {
 
 /// Benchmarks from one suite (all input sizes).
 pub fn suite_benchmarks(suite: CpuSuite) -> Vec<CpuBenchmark> {
-    cpu_benchmarks().into_iter().filter(|b| b.suite == suite).collect()
+    cpu_benchmarks()
+        .into_iter()
+        .filter(|b| b.suite == suite)
+        .collect()
 }
 
 /// The Rodinia applications that exist in both the CPU and GPU evaluations
@@ -366,7 +427,10 @@ mod tests {
             .map(|b| b.name)
             .collect();
         for name in rodinia_cpu_gpu_intersection() {
-            assert!(rodinia_names.contains(name), "{name} missing from CPU Rodinia");
+            assert!(
+                rodinia_names.contains(name),
+                "{name} missing from CPU Rodinia"
+            );
         }
         assert_eq!(rodinia_cpu_gpu_intersection().len(), 8);
     }

@@ -104,34 +104,109 @@ fn specs() -> Vec<AppSpec> {
     };
     vec![
         // ---- Rodinia (11 applications) ----
-        s("backprop", Rodinia, 40, 16_000_000, 0.32, 0.55, 0.50, 4.0, 32.0, 2.0),
-        s("bfs", Rodinia, 87, 9_000_000, 0.33, 0.25, 0.30, 8.0, 24.0, 1.5),
-        s("gaussian", Rodinia, 240, 12_000_000, 0.30, 0.45, 0.58, 4.0, 16.0, 1.6),
-        s("hotspot", Rodinia, 60, 20_000_000, 0.30, 0.70, 0.60, 4.0, 40.0, 2.5),
-        s("kmeans", Rodinia, 30, 25_000_000, 0.32, 0.50, 0.35, 4.0, 40.0, 2.0),
-        s("lavamd", Rodinia, 10, 30_000_000, 0.34, 0.85, 0.80, 2.0, 48.0, 3.0),
-        s("lud", Rodinia, 150, 14_000_000, 0.33, 0.75, 0.70, 2.0, 24.0, 2.0),
-        s("nn", Rodinia, 8, 4_000_000, 0.34, 0.32, 0.28, 6.0, 20.0, 1.5),
-        s("nw", Rodinia, 250, 10_000_000, 0.33, 0.35, 0.25, 6.0, 12.0, 1.3),
-        s("pathfinder", Rodinia, 25, 18_000_000, 0.31, 0.60, 0.55, 4.0, 32.0, 2.2),
-        s("srad", Rodinia, 65, 22_000_000, 0.30, 0.55, 0.45, 4.0, 32.0, 2.0),
+        s(
+            "backprop", Rodinia, 40, 16_000_000, 0.32, 0.55, 0.50, 4.0, 32.0, 2.0,
+        ),
+        s(
+            "bfs", Rodinia, 87, 9_000_000, 0.33, 0.25, 0.30, 8.0, 24.0, 1.5,
+        ),
+        s(
+            "gaussian", Rodinia, 240, 12_000_000, 0.30, 0.45, 0.58, 4.0, 16.0, 1.6,
+        ),
+        s(
+            "hotspot", Rodinia, 60, 20_000_000, 0.30, 0.70, 0.60, 4.0, 40.0, 2.5,
+        ),
+        s(
+            "kmeans", Rodinia, 30, 25_000_000, 0.32, 0.50, 0.35, 4.0, 40.0, 2.0,
+        ),
+        s(
+            "lavamd", Rodinia, 10, 30_000_000, 0.34, 0.85, 0.80, 2.0, 48.0, 3.0,
+        ),
+        s(
+            "lud", Rodinia, 150, 14_000_000, 0.33, 0.75, 0.70, 2.0, 24.0, 2.0,
+        ),
+        s(
+            "nn", Rodinia, 8, 4_000_000, 0.34, 0.32, 0.28, 6.0, 20.0, 1.5,
+        ),
+        s(
+            "nw", Rodinia, 250, 10_000_000, 0.33, 0.35, 0.25, 6.0, 12.0, 1.3,
+        ),
+        s(
+            "pathfinder",
+            Rodinia,
+            25,
+            18_000_000,
+            0.31,
+            0.60,
+            0.55,
+            4.0,
+            32.0,
+            2.2,
+        ),
+        s(
+            "srad", Rodinia, 65, 22_000_000, 0.30, 0.55, 0.45, 4.0, 32.0, 2.0,
+        ),
         // ---- Polybench (10 applications): linear algebra that stresses the
         // cache hierarchy and main memory ----
-        s("2mm", Polybench, 20, 40_000_000, 0.35, 0.60, 0.40, 4.0, 32.0, 2.0),
-        s("3mm", Polybench, 30, 55_000_000, 0.35, 0.60, 0.40, 4.0, 32.0, 2.0),
-        s("atax", Polybench, 12, 8_000_000, 0.34, 0.42, 0.25, 6.0, 20.0, 1.5),
-        s("bicg", Polybench, 12, 8_000_000, 0.34, 0.42, 0.25, 6.0, 20.0, 1.5),
-        s("gemm", Polybench, 15, 45_000_000, 0.35, 0.70, 0.55, 4.0, 40.0, 2.5),
-        s("gesummv", Polybench, 10, 6_000_000, 0.35, 0.40, 0.22, 6.0, 16.0, 1.4),
-        s("mvt", Polybench, 12, 9_000_000, 0.34, 0.42, 0.26, 6.0, 20.0, 1.5),
-        s("syr2k", Polybench, 18, 35_000_000, 0.34, 0.55, 0.35, 4.0, 32.0, 2.0),
-        s("syrk", Polybench, 16, 30_000_000, 0.34, 0.58, 0.38, 4.0, 32.0, 2.0),
-        s("correlation", Polybench, 25, 28_000_000, 0.33, 0.50, 0.30, 4.0, 28.0, 1.8),
+        s(
+            "2mm", Polybench, 20, 40_000_000, 0.35, 0.60, 0.40, 4.0, 32.0, 2.0,
+        ),
+        s(
+            "3mm", Polybench, 30, 55_000_000, 0.35, 0.60, 0.40, 4.0, 32.0, 2.0,
+        ),
+        s(
+            "atax", Polybench, 12, 8_000_000, 0.34, 0.42, 0.25, 6.0, 20.0, 1.5,
+        ),
+        s(
+            "bicg", Polybench, 12, 8_000_000, 0.34, 0.42, 0.25, 6.0, 20.0, 1.5,
+        ),
+        s(
+            "gemm", Polybench, 15, 45_000_000, 0.35, 0.70, 0.55, 4.0, 40.0, 2.5,
+        ),
+        s(
+            "gesummv", Polybench, 10, 6_000_000, 0.35, 0.40, 0.22, 6.0, 16.0, 1.4,
+        ),
+        s(
+            "mvt", Polybench, 12, 9_000_000, 0.34, 0.42, 0.26, 6.0, 20.0, 1.5,
+        ),
+        s(
+            "syr2k", Polybench, 18, 35_000_000, 0.34, 0.55, 0.35, 4.0, 32.0, 2.0,
+        ),
+        s(
+            "syrk", Polybench, 16, 30_000_000, 0.34, 0.58, 0.38, 4.0, 32.0, 2.0,
+        ),
+        s(
+            "correlation",
+            Polybench,
+            25,
+            28_000_000,
+            0.33,
+            0.50,
+            0.30,
+            4.0,
+            28.0,
+            1.8,
+        ),
         // ---- Tango deep networks (3 applications): dense conv/GEMM layers,
         // cache-friendly; their loads mostly hit in the L1/L2 ----
-        s("alexnet", Tango, 130, 120_000_000, 0.36, 0.85, 0.78, 2.0, 48.0, 3.5),
-        s("gru", Tango, 120, 80_000_000, 0.35, 0.80, 0.72, 2.0, 40.0, 3.0),
-        s("lstm", Tango, 140, 90_000_000, 0.35, 0.80, 0.72, 2.0, 40.0, 3.0),
+        s(
+            "alexnet",
+            Tango,
+            130,
+            120_000_000,
+            0.36,
+            0.85,
+            0.78,
+            2.0,
+            48.0,
+            3.5,
+        ),
+        s(
+            "gru", Tango, 120, 80_000_000, 0.35, 0.80, 0.72, 2.0, 40.0, 3.0,
+        ),
+        s(
+            "lstm", Tango, 140, 90_000_000, 0.35, 0.80, 0.72, 2.0, 40.0, 3.0,
+        ),
     ]
 }
 

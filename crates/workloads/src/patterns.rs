@@ -133,7 +133,10 @@ fn rng_for(params: &PatternParams) -> StdRng {
 
 fn push(trace: &mut MemoryTrace, rng: &mut StdRng, params: &PatternParams, addr: u64) {
     let is_write = rng.gen_bool(params.write_fraction);
-    trace.push(params.compute_per_access, cpusim::MemAccess { addr, is_write });
+    trace.push(
+        params.compute_per_access,
+        cpusim::MemAccess { addr, is_write },
+    );
 }
 
 /// Unit-stride streaming over the working set, wrapping around as needed.
@@ -169,7 +172,10 @@ fn stencil_2d(params: &PatternParams) -> MemoryTrace {
                     }
                 }
                 let _ = &mut rng;
-                trace.push_write(params.compute_per_access, center * PatternParams::ELEMENT_BYTES);
+                trace.push_write(
+                    params.compute_per_access,
+                    center * PatternParams::ELEMENT_BYTES,
+                );
                 generated += 1;
                 if generated >= params.accesses {
                     break 'outer;
@@ -234,7 +240,12 @@ fn pointer_chase(params: &PatternParams) -> MemoryTrace {
     let mut pos = rng.gen_range(0..elements);
     for _ in 0..params.accesses {
         pos = (pos + stride) % elements;
-        push(&mut trace, &mut rng, params, pos * PatternParams::ELEMENT_BYTES);
+        push(
+            &mut trace,
+            &mut rng,
+            params,
+            pos * PatternParams::ELEMENT_BYTES,
+        );
     }
     trace
 }
@@ -274,7 +285,10 @@ fn wavefront(params: &PatternParams) -> MemoryTrace {
                     }
                 }
                 let _ = &mut rng;
-                trace.push_write(params.compute_per_access, idx * PatternParams::ELEMENT_BYTES);
+                trace.push_write(
+                    params.compute_per_access,
+                    idx * PatternParams::ELEMENT_BYTES,
+                );
                 generated += 1;
                 if generated >= params.accesses {
                     break 'outer;
@@ -304,7 +318,8 @@ fn graph_traversal(params: &PatternParams) -> MemoryTrace {
             trace.push_read(params.compute_per_access, addr);
         } else {
             // Neighbour property lookup: random.
-            let addr = (frontier_elems + rng.gen_range(0..property_elems.max(1))) * PatternParams::ELEMENT_BYTES;
+            let addr = (frontier_elems + rng.gen_range(0..property_elems.max(1)))
+                * PatternParams::ELEMENT_BYTES;
             push(&mut trace, &mut rng, params, addr);
         }
     }
@@ -321,7 +336,12 @@ fn repeated_passes(params: &PatternParams) -> MemoryTrace {
     let mut generated = 0usize;
     loop {
         for e in 0..elements {
-            push(&mut trace, &mut rng, params, e * PatternParams::ELEMENT_BYTES);
+            push(
+                &mut trace,
+                &mut rng,
+                params,
+                e * PatternParams::ELEMENT_BYTES,
+            );
             generated += 1;
             if generated >= params.accesses {
                 return trace;
@@ -427,7 +447,8 @@ mod tests {
     fn blocked_dense_reuses_lines_heavily() {
         // With 12 reuse passes over an L2-sized tile, the same addresses recur
         // many times: distinct lines << accesses.
-        let t = AccessPattern::BlockedDense.generate(&PatternParams::new(64 << 20, 60_000).seed(42));
+        let t =
+            AccessPattern::BlockedDense.generate(&PatternParams::new(64 << 20, 60_000).seed(42));
         let mut lines: std::collections::HashSet<u64> =
             std::collections::HashSet::with_capacity(4096);
         for r in &t.records {

@@ -4,9 +4,7 @@
 //!
 //! Run with: `cargo run --release --example latency_study`
 
-use photonic_disagg::core::cpu_experiments::{
-    run_cpu_experiment_subset, CpuExperimentConfig,
-};
+use photonic_disagg::core::cpu_experiments::{run_cpu_experiment_subset, CpuExperimentConfig};
 use photonic_disagg::core::report::format_cpu_results;
 
 fn main() {
@@ -20,7 +18,7 @@ fn main() {
         ..CpuExperimentConfig::default()
     };
     let mut results = run_cpu_experiment_subset(&cfg, |b| names.contains(&b.name.as_str()));
-    results.sort_by(|a, b| a.benchmark.id().cmp(&b.benchmark.id()));
+    results.sort_by_key(|a| a.benchmark.id());
 
     println!(
         "{}",

@@ -17,12 +17,30 @@ fn main() {
     println!("Photonically-disaggregated rack (case A: parallel AWGRs)");
     println!("  MCMs                    : {}", summary.total_mcms);
     println!("  chips packed            : {}", summary.total_chips);
-    println!("  escape bandwidth / MCM  : {:.0} GB/s", summary.mcm_escape_gbs);
-    println!("  min direct wavelengths  : {}", summary.fabric.min_direct_wavelengths);
-    println!("  min direct bandwidth    : {:.0} Gbps", summary.fabric.min_direct_bandwidth_gbps);
-    println!("  disaggregation latency  : {:.1} ns", summary.disaggregation_latency_ns);
-    println!("  photonic power          : {:.1} kW", summary.photonic_power_w / 1000.0);
-    println!("  photonic power overhead : {:.1} %", summary.photonic_overhead_percent);
+    println!(
+        "  escape bandwidth / MCM  : {:.0} GB/s",
+        summary.mcm_escape_gbs
+    );
+    println!(
+        "  min direct wavelengths  : {}",
+        summary.fabric.min_direct_wavelengths
+    );
+    println!(
+        "  min direct bandwidth    : {:.0} Gbps",
+        summary.fabric.min_direct_bandwidth_gbps
+    );
+    println!(
+        "  disaggregation latency  : {:.1} ns",
+        summary.disaggregation_latency_ns
+    );
+    println!(
+        "  photonic power          : {:.1} kW",
+        summary.photonic_power_w / 1000.0
+    );
+    println!(
+        "  photonic power overhead : {:.1} %",
+        summary.photonic_overhead_percent
+    );
     println!();
 
     // 2. Run the full analytical evaluation (Tables I-IV, BER, power,

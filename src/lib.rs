@@ -19,7 +19,6 @@
 
 pub use cpusim;
 pub use disagg_core as core;
-pub use disagg_core;
 pub use fabric;
 pub use gpusim;
 pub use photonics;

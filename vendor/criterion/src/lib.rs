@@ -1,0 +1,151 @@
+//! Minimal stand-in for the subset of `criterion` this workspace's benches
+//! use: `criterion_group!`/`criterion_main!`, benchmark groups,
+//! `bench_function`/`bench_with_input`, and `Bencher::iter`.
+//!
+//! The build environment has no access to crates.io. This shim measures each
+//! benchmark with `std::time::Instant` over an adaptive number of iterations
+//! and prints a one-line mean per benchmark — no statistics, plots, or
+//! comparison against saved baselines. It is sufficient for
+//! `cargo bench --no-run` CI smoke coverage and for coarse local timing.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Wall-clock budget per benchmark once one warm-up iteration has run.
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+
+/// Prevents the optimizer from eliding a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for a parameterized benchmark, e.g. `name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id rendered as `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    mean: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it repeatedly within a fixed budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine()); // Warm-up, also primes caches/allocations.
+        let budget_start = Instant::now();
+        let mut iters = 0u64;
+        let mut elapsed = Duration::ZERO;
+        while iters < 3 || (budget_start.elapsed() < MEASURE_BUDGET && iters < 10_000) {
+            let start = Instant::now();
+            black_box(routine());
+            elapsed += start.elapsed();
+            iters += 1;
+        }
+        self.iters = iters;
+        self.mean = elapsed / iters as u32;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's budget is time-based.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark named `id` in this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: 0,
+            mean: Duration::ZERO,
+        };
+        f(&mut b);
+        println!(
+            "bench {}/{}: mean {:?} over {} iters",
+            self.name, id, b.mean, b.iters
+        );
+        self
+    }
+
+    /// Runs a benchmark that borrows a per-case `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named [`BenchmarkGroup`].
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Runs an ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("crit").bench_function(id, f);
+        self
+    }
+}
+
+/// Bundles benchmark functions under one group name, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running each group. Ignores criterion CLI flags.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes flags like `--bench`; the shim has no CLI.
+            $( $group(); )+
+        }
+    };
+}

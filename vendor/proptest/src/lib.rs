@@ -1,0 +1,192 @@
+//! Minimal stand-in for the subset of `proptest` this workspace's tests use:
+//! the `proptest!` macro over functions whose arguments are drawn from range
+//! strategies, `prop_assert!`/`prop_assert_eq!`, and `ProptestConfig`.
+//!
+//! The build environment has no access to crates.io. This shim does plain
+//! random testing: each case draws every argument uniformly from its range
+//! with a fixed per-test seed (derived from the test name, so runs are
+//! reproducible). There is no shrinking — a failure reports the exact inputs
+//! instead. Swap the real proptest back in via `[workspace.dependencies]`
+//! for shrinking and richer strategies.
+
+use std::ops::{Range, RangeInclusive};
+
+pub use rand::rngs::StdRng as SampleRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-`proptest!` block configuration (subset of the real type).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real proptest defaults to 256; keep that so coverage matches.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Seeds the per-test generator from the test's name (FNV-1a).
+pub fn rng_for_test(name: &str) -> SampleRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    SampleRng::seed_from_u64(h)
+}
+
+/// A source of random values for one macro argument (subset of the real
+/// `Strategy`, which also supports shrinking and combinators).
+pub trait Strategy {
+    /// The generated value type.
+    type Value: std::fmt::Debug;
+    /// Draws one value.
+    fn sample(&self, rng: &mut SampleRng) -> Self::Value;
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut SampleRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut SampleRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+pub mod prelude {
+    //! Everything a `proptest!` test file needs.
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...)` body runs for
+/// `cases` randomly drawn argument tuples.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { (<$crate::ProptestConfig as ::core::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($arg:ident in $strategy:expr),* $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::rng_for_test(stringify!($name));
+            for case in 0..config.cases {
+                $(let $arg = $crate::Strategy::sample(&($strategy), &mut rng);)*
+                let outcome: ::std::result::Result<(), ::std::string::String> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(message) = outcome {
+                    panic!(
+                        "property `{}` failed on case {}/{}: {}\n    inputs: {}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        message,
+                        [$(format!("{} = {:?}", stringify!($arg), $arg)),*].join(", "),
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+}
+
+/// Fails the enclosing property (with the stringified condition) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                format!("prop_assert!({}) failed", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Fails the enclosing property when the two expressions are unequal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if left != right {
+            return ::std::result::Result::Err(format!(
+                "prop_assert_eq! failed: {} = {:?}, {} = {:?}",
+                stringify!($left),
+                left,
+                stringify!($right),
+                right,
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, f in 0.0f64..1.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(v in 0usize..5, w in 1u64..=8) {
+            prop_assert!(v < 5);
+            prop_assert!((1..=8).contains(&w));
+            prop_assert_eq!(v + 1, v + 1);
+        }
+    }
+
+    #[test]
+    fn per_test_rng_is_deterministic() {
+        use rand::Rng;
+        let mut a = crate::rng_for_test("some_test");
+        let mut b = crate::rng_for_test("some_test");
+        assert_eq!(a.gen_range(0u64..1000), b.gen_range(0u64..1000));
+    }
+}

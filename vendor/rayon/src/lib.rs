@@ -1,0 +1,60 @@
+//! Sequential stand-in for the subset of `rayon` this workspace uses.
+//!
+//! The build environment has no access to crates.io, so `par_iter()` here
+//! returns the ordinary sequential slice iterator: every adaptor
+//! (`map`, `filter`, `collect`, ...) keeps working and results are identical,
+//! just not parallel. When the real rayon is available again, repointing
+//! `[workspace.dependencies] rayon` at crates.io restores parallelism with no
+//! source changes in the experiment drivers.
+
+pub mod prelude {
+    //! Parallel-iterator extension traits (sequential here).
+
+    /// Sequential replacement for `rayon::iter::IntoParallelRefIterator`.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The iterator type returned by [`par_iter`](Self::par_iter).
+        type Iter: Iterator;
+
+        /// Returns a (sequential) iterator over `&self`'s items.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
+        type Iter = std::slice::Iter<'data, T>;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    /// Sequential replacement for `rayon::iter::IntoParallelIterator`.
+    pub trait IntoParallelIterator {
+        /// The iterator type returned by [`into_par_iter`](Self::into_par_iter).
+        type Iter: Iterator;
+
+        /// Consumes `self`, returning a (sequential) iterator over its items.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Iter = I::IntoIter;
+
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = [1u32, 2, 3, 4];
+        let doubled: Vec<u32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let sum: u32 = (1u32..=4).into_par_iter().sum();
+        assert_eq!(sum, 10);
+    }
+}

@@ -1,0 +1,18 @@
+//! API-compatible stand-in for the subset of `serde` this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! a minimal replacement: the `Serialize`/`Deserialize` derive macros (no-op
+//! expansions) and marker traits with blanket impls so generic bounds remain
+//! satisfiable. Nothing in the repository serializes data yet; when a real
+//! output format lands, point `[workspace.dependencies] serde` back at
+//! crates.io and everything keeps compiling.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all types.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,21 @@
+//! No-op replacement for the `serde_derive` proc-macro crate.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! a minimal stand-in. `#[derive(Serialize, Deserialize)]` must parse and
+//! expand, but nothing in this repository actually serializes data yet, so the
+//! derives expand to nothing. Swapping in the real serde is a one-line change
+//! in the root manifest's `[workspace.dependencies]`.
+
+use proc_macro::TokenStream;
+
+/// Expands `#[derive(Serialize)]` to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands `#[derive(Deserialize)]` to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
