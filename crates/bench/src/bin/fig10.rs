@@ -1,36 +1,9 @@
 //! Regenerates Fig. 10: per-application GPU slowdown at +35 ns alongside the
 //! LLC (L2) miss rate and HBM transactions per instruction, plus the Pearson
 //! correlations (paper: 0.87 with miss rate, 0.79 with HBM transactions, no
-//! significant correlation with the memory-instruction fraction).
-
-use disagg_core::gpu_experiments::{gpu_correlations, run_gpu_experiment, GpuExperimentConfig};
+//! significant correlation with the memory-instruction fraction). Pass
+//! `--json` for the machine-readable sweep report.
 
 fn main() {
-    let results = run_gpu_experiment(&GpuExperimentConfig::default());
-    println!("Fig. 10 — GPU slowdown vs LLC miss rate and HBM transactions (+35 ns)");
-    println!(
-        "{:<16} {:>10} {:>12} {:>12} {:>10}",
-        "application", "slowdown%", "L2 miss%", "HBM tx/instr", "mem frac"
-    );
-    for r in &results {
-        println!(
-            "{:<16} {:>9.2}% {:>11.1}% {:>12.3} {:>10.2}",
-            r.name,
-            r.slowdown_at(35.0).unwrap_or(0.0),
-            r.l2_miss_rate * 100.0,
-            r.hbm_transactions_per_instruction,
-            r.memory_instruction_fraction
-        );
-    }
-    let c = gpu_correlations(&results, 35.0);
-    println!("\nPearson correlations of slowdown with:");
-    println!("  LLC (L2) miss rate          : {:?}", c.with_l2_miss_rate);
-    println!(
-        "  HBM transactions/instruction: {:?}",
-        c.with_hbm_transactions
-    );
-    println!(
-        "  memory instruction fraction : {:?}",
-        c.with_memory_fraction
-    );
+    disagg_core::sweep::artifacts::fig10().emit();
 }

@@ -1,44 +1,8 @@
 //! Regenerates Fig. 11: slowdown of the Rodinia benchmarks that run on both
 //! CPUs and GPUs, comparing in-order CPUs, OOO CPUs, and the A100 GPU at
-//! +35 ns (the paper's point: GPUs tolerate the latency best, <=12%).
-
-use cpusim::CoreKind;
-use disagg_core::cpu_experiments::{run_cpu_experiment_subset, CpuExperimentConfig};
-use disagg_core::gpu_experiments::{run_gpu_experiment, GpuExperimentConfig};
-use workloads::cpu::rodinia_cpu_gpu_intersection;
+//! +35 ns (the paper's point: GPUs tolerate the latency best, <=12%). Pass
+//! `--json` for the machine-readable sweep report.
 
 fn main() {
-    let shared = rodinia_cpu_gpu_intersection();
-    let cfg = CpuExperimentConfig {
-        latencies_ns: vec![0.0, 35.0],
-        ..CpuExperimentConfig::default()
-    };
-    let cpu = run_cpu_experiment_subset(&cfg, |b| {
-        b.suite == workloads::cpu::CpuSuite::Rodinia && shared.contains(&b.name.as_str())
-    });
-    let gpu = run_gpu_experiment(&GpuExperimentConfig::default());
-
-    println!("Fig. 11 — CPU vs GPU slowdown on shared Rodinia benchmarks (+35 ns)");
-    println!(
-        "{:<16} {:>12} {:>12} {:>10}",
-        "benchmark", "in-order CPU", "OOO CPU", "GPU"
-    );
-    for name in &shared {
-        let io = cpu
-            .iter()
-            .find(|r| r.benchmark.name == *name && r.core_kind == CoreKind::InOrder)
-            .and_then(|r| r.slowdown_at(35.0))
-            .unwrap_or(f64::NAN);
-        let ooo = cpu
-            .iter()
-            .find(|r| r.benchmark.name == *name && r.core_kind == CoreKind::OutOfOrder)
-            .and_then(|r| r.slowdown_at(35.0))
-            .unwrap_or(f64::NAN);
-        let g = gpu
-            .iter()
-            .find(|r| r.name == *name)
-            .and_then(|r| r.slowdown_at(35.0))
-            .unwrap_or(f64::NAN);
-        println!("{name:<16} {io:>11.1}% {ooo:>11.1}% {g:>9.2}%");
-    }
+    disagg_core::sweep::artifacts::fig11().emit();
 }

@@ -1,54 +1,8 @@
 //! Regenerates Fig. 7: per-benchmark slowdown vs. LLC miss rate for PARSEC
 //! (large inputs) and Rodinia on in-order cores, with the Pearson
 //! correlation coefficients the paper quotes (0.89 / 0.76, and 0.822 across
-//! all PARSEC inputs).
-
-use cpusim::CoreKind;
-use disagg_core::cpu_experiments::{
-    miss_rate_correlation, run_cpu_experiment, CpuExperimentConfig,
-};
-use disagg_core::report::format_miss_rate_rows;
-use workloads::cpu::{CpuSuite, InputSize};
+//! all PARSEC inputs). Pass `--json` for the machine-readable sweep report.
 
 fn main() {
-    let cfg = CpuExperimentConfig {
-        latencies_ns: vec![0.0, 35.0],
-        ..CpuExperimentConfig::default()
-    };
-    let results = run_cpu_experiment(&cfg);
-
-    let parsec_large = miss_rate_correlation(&results, 35.0, |r| {
-        r.core_kind == CoreKind::InOrder
-            && r.benchmark.suite == CpuSuite::Parsec
-            && r.benchmark.input == InputSize::Large
-    });
-    println!(
-        "{}",
-        format_miss_rate_rows(
-            "Fig. 7 (left) — PARSEC large, in-order",
-            &parsec_large.points
-        )
-    );
-    println!("Pearson r = {:?}\n", parsec_large.pearson);
-
-    let rodinia = miss_rate_correlation(&results, 35.0, |r| {
-        r.core_kind == CoreKind::InOrder && r.benchmark.suite == CpuSuite::Rodinia
-    });
-    println!(
-        "{}",
-        format_miss_rate_rows("Fig. 7 (right) — Rodinia, in-order", &rodinia.points)
-    );
-    println!("Pearson r = {:?}\n", rodinia.pearson);
-
-    let parsec_all = miss_rate_correlation(&results, 35.0, |r| {
-        r.core_kind == CoreKind::InOrder && r.benchmark.suite == CpuSuite::Parsec
-    });
-    println!(
-        "PARSEC all inputs, in-order: Pearson r = {:?}",
-        parsec_all.pearson
-    );
-    for kind in [CoreKind::InOrder, CoreKind::OutOfOrder] {
-        let all = miss_rate_correlation(&results, 35.0, |r| r.core_kind == kind);
-        println!("All suites, {kind}: Pearson r = {:?}", all.pearson);
-    }
+    disagg_core::sweep::artifacts::fig7().emit();
 }

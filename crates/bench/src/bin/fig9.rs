@@ -1,21 +1,7 @@
 //! Regenerates Fig. 9: GPU slowdown for 25, 30, and 35 ns of additional
-//! LLC (L2) to HBM latency across the 24 GPU applications.
-
-use disagg_core::gpu_experiments::{average_slowdown, run_gpu_experiment, GpuExperimentConfig};
-use disagg_core::report::format_gpu_results;
+//! LLC (L2) to HBM latency across the 24 GPU applications. Pass `--json`
+//! for the machine-readable sweep report.
 
 fn main() {
-    let results = run_gpu_experiment(&GpuExperimentConfig::default());
-    println!(
-        "{}",
-        format_gpu_results(
-            "Fig. 9 — GPU slowdown for 25/30/35 ns of additional LLC-HBM latency",
-            &results,
-            &[25.0, 30.0, 35.0]
-        )
-    );
-    println!(
-        "average slowdown at +35 ns: {:.2}% (paper: 5.35%)",
-        average_slowdown(&results, 35.0)
-    );
+    disagg_core::sweep::artifacts::fig9().emit();
 }

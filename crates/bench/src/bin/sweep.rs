@@ -1,0 +1,163 @@
+//! Run an arbitrary user-defined scenario grid through the `core::sweep`
+//! engine.
+//!
+//! Every axis takes a comma-separated list; unspecified axes stay at the
+//! paper's design point (350-MCM AWGR rack, 64 x 25 Gbps wavelengths per
+//! fiber, uniform 4-flows-per-MCM traffic at 100 Gbps, 35 ns latency).
+//!
+//! ```text
+//! cargo run --release --bin sweep -- \
+//!     --mcms 64,128,350 --fabric awgr,wave --pattern permutation,hotspot4 \
+//!     --demand 400 --latency 25,35 --replicates 3 --json
+//! ```
+//!
+//! Patterns: `uniformN` (N flows per MCM), `permutation`, `hotspotN`
+//! (N hot destinations), `neighborN` (N neighbours per side), `alltoall`.
+//! `--demand` sets the per-flow Gbps for every listed pattern.
+
+use std::process::exit;
+
+use disagg_core::report::format_sweep_report;
+use disagg_core::sweep::SweepGrid;
+use fabric::FabricKind;
+use workloads::TrafficPattern;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sweep [--mcms N,..] [--fibers N,..] [--wavelengths N,..] [--gbps X,..]\n\
+         \x20            [--fabric awgr|wave|spatial,..] [--pattern P,..] [--demand GBPS]\n\
+         \x20            [--latency NS,..] [--replicates N] [--seed N] [--json]\n\
+         patterns: uniformN | permutation | hotspotN | neighborN | alltoall"
+    );
+    exit(2);
+}
+
+fn parse_list<T: std::str::FromStr>(flag: &str, value: &str) -> Vec<T> {
+    value
+        .split(',')
+        .map(|v| {
+            v.trim().parse().unwrap_or_else(|_| {
+                eprintln!("sweep: invalid value {v:?} for {flag}");
+                exit(2);
+            })
+        })
+        .collect()
+}
+
+/// For flags that take exactly one value: reject comma lists instead of
+/// silently using the first element.
+fn parse_scalar<T: std::str::FromStr>(flag: &str, value: &str) -> T {
+    if value.contains(',') {
+        eprintln!("sweep: {flag} takes a single value, got list {value:?}");
+        exit(2);
+    }
+    value.trim().parse().unwrap_or_else(|_| {
+        eprintln!("sweep: invalid value {value:?} for {flag}");
+        exit(2);
+    })
+}
+
+fn parse_fabric(value: &str) -> Vec<FabricKind> {
+    value
+        .split(',')
+        .map(|v| match v.trim() {
+            "awgr" => FabricKind::ParallelAwgrs,
+            "wave" => FabricKind::WaveSelective,
+            "spatial" => FabricKind::Spatial,
+            other => {
+                eprintln!("sweep: unknown fabric {other:?} (awgr|wave|spatial)");
+                exit(2);
+            }
+        })
+        .collect()
+}
+
+fn parse_patterns(value: &str, demand_gbps: f64) -> Vec<TrafficPattern> {
+    value
+        .split(',')
+        .map(|v| {
+            let v = v.trim();
+            let numbered = |prefix: &str| -> Option<u32> {
+                v.strip_prefix(prefix).and_then(|n| n.parse().ok())
+            };
+            if v == "permutation" {
+                TrafficPattern::Permutation { demand_gbps }
+            } else if v == "alltoall" {
+                TrafficPattern::AllToAll { demand_gbps }
+            } else if let Some(n) = numbered("uniform") {
+                TrafficPattern::Uniform {
+                    flows_per_mcm: n,
+                    demand_gbps,
+                }
+            } else if let Some(n) = numbered("hotspot") {
+                TrafficPattern::HotSpot {
+                    hot_mcms: n,
+                    demand_gbps,
+                }
+            } else if let Some(n) = numbered("neighbor") {
+                TrafficPattern::NearestNeighbor {
+                    neighbors: n,
+                    demand_gbps,
+                }
+            } else {
+                eprintln!("sweep: unknown pattern {v:?}");
+                exit(2);
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut grid = SweepGrid::named("sweep");
+    let mut json = false;
+    let mut demand_gbps = 100.0;
+    let mut pattern_spec: Option<String> = None;
+
+    // `--demand` must apply to the patterns no matter the flag order, so
+    // patterns are parsed after the full argument scan.
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        if flag == "--json" {
+            json = true;
+            i += 1;
+            continue;
+        }
+        if flag == "--help" || flag == "-h" {
+            usage();
+        }
+        let Some(value) = args.get(i + 1) else {
+            usage()
+        };
+        match flag {
+            "--mcms" => grid.mcm_counts = parse_list(flag, value),
+            "--fibers" => grid.fibers_per_mcm = parse_list(flag, value),
+            "--wavelengths" => grid.wavelengths_per_fiber = parse_list(flag, value),
+            "--gbps" => grid.gbps_per_wavelength = parse_list(flag, value),
+            "--fabric" => grid.fabric_kinds = parse_fabric(value),
+            "--pattern" => pattern_spec = Some(value.clone()),
+            "--demand" => demand_gbps = parse_scalar::<f64>(flag, value),
+            "--latency" => grid.direct_latencies_ns = parse_list(flag, value),
+            "--replicates" => grid.replicates = parse_scalar::<u32>(flag, value).max(1),
+            "--seed" => grid.base_seed = parse_scalar::<u64>(flag, value),
+            _ => usage(),
+        }
+        i += 2;
+    }
+    if let Some(spec) = pattern_spec {
+        grid.patterns = parse_patterns(&spec, demand_gbps);
+    } else {
+        grid.patterns = vec![TrafficPattern::Uniform {
+            flows_per_mcm: 4,
+            demand_gbps,
+        }];
+    }
+
+    let report = grid.run();
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", format_sweep_report(&report));
+    }
+}

@@ -1,25 +1,7 @@
 //! Regenerates Table I: WDM photonic link technologies and their sizing for
-//! a 2 TB/s escape-bandwidth target.
-
-use photonics::link::EscapeSizing;
+//! a 2 TB/s escape-bandwidth target. Pass `--json` for the machine-readable
+//! sweep report.
 
 fn main() {
-    println!("Table I — WDM photonic link technologies (2 TB/s escape target)");
-    println!(
-        "{:<18} {:>10} {:>10} {:>16} {:>7} {:>10}",
-        "technology", "Gbps/link", "pJ/bit", "Gbps x channels", "#links", "agg. W"
-    );
-    for row in EscapeSizing::table_i_rows() {
-        let t = row.technology;
-        println!(
-            "{:<18} {:>10.0} {:>10.2} {:>9.0} x {:<4} {:>7} {:>10.1}",
-            t.kind.to_string(),
-            t.bandwidth.gbps(),
-            t.energy_per_bit.pj(),
-            t.channel_rate.gbps(),
-            t.channels,
-            row.links,
-            row.aggregate_power_w
-        );
-    }
+    disagg_core::sweep::artifacts::table1().emit();
 }

@@ -1,25 +1,7 @@
 //! Regenerates Table III: chips per MCM and MCMs per rack for the paper's
 //! 128-node GPU-accelerated HPE/Cray EX rack under a 6.4 TB/s per-MCM escape
-//! bandwidth budget.
-
-use rack::mcm::RackComposition;
+//! bandwidth budget. Pass `--json` for the machine-readable sweep report.
 
 fn main() {
-    let c = RackComposition::paper_rack();
-    println!("Table III — chips per MCM and MCMs per rack (6.4 TB/s escape per MCM)");
-    println!(
-        "{:<6} {:>13} {:>13} {:>12} {:>18}",
-        "chip", "chips/MCM", "MCMs/rack", "chips", "GB/s per chip"
-    );
-    for p in &c.packings {
-        println!(
-            "{:<6} {:>13} {:>13} {:>12} {:>18.1}",
-            p.kind.to_string(),
-            p.chips_per_mcm,
-            p.mcms_per_rack,
-            p.total_chips,
-            p.escape_per_chip.gbytes_per_s()
-        );
-    }
-    println!("Total MCMs: {}", c.total_mcms());
+    disagg_core::sweep::artifacts::table3().emit();
 }

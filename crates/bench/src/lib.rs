@@ -1,1 +1,33 @@
-//! Benchmark harness support library. The interesting code lives in the bench binaries and criterion benches.
+//! # bench
+//!
+//! The paper-artifact harness: one binary per table/figure of the paper's
+//! evaluation plus Criterion benches over the underlying models. The
+//! library itself is intentionally empty — each artifact is a standalone
+//! binary in `src/bin/` so that `cargo run --bin <artifact>` regenerates
+//! exactly one paper result.
+//!
+//! | binary | paper artifact | engine route |
+//! |---|---|---|
+//! | `table1` | Table I — WDM link technologies | [`disagg_core::sweep::artifacts::table1`] |
+//! | `table2` | Table II — high-radix photonic switches | `disagg_core::rack_analysis` |
+//! | `table3` | Table III — chips/MCM, MCMs/rack | [`disagg_core::sweep::artifacts::table3`] |
+//! | `table4` | Table IV — switch candidates | `disagg_core::rack_analysis` |
+//! | `fig5_connectivity` | Fig. 5 — fabric connectivity guarantees | `fabric::RackFabric::report` |
+//! | `fig6` | Fig. 6 — CPU slowdown by suite at +35 ns | `disagg_core::cpu_experiments` |
+//! | `fig7` | Fig. 7 — slowdown vs. LLC miss rate | [`disagg_core::sweep::artifacts::fig7`] |
+//! | `fig8` | Fig. 8 — CPU 25/30/35 ns sensitivity | `disagg_core::cpu_experiments` |
+//! | `fig9` | Fig. 9 — GPU slowdown 25/30/35 ns | [`disagg_core::sweep::artifacts::fig9`] |
+//! | `fig10` | Fig. 10 — GPU slowdown correlations | [`disagg_core::sweep::artifacts::fig10`] |
+//! | `fig11` | Fig. 11 — CPU vs GPU on shared Rodinia | [`disagg_core::sweep::artifacts::fig11`] |
+//! | `fig12` | Fig. 12 — photonic vs best electronic | `disagg_core` experiments |
+//! | `sweep` | user-defined scenario grids | [`disagg_core::sweep::SweepGrid`] |
+//!
+//! Binaries with an `artifacts` route run through the `core::sweep` engine
+//! and accept `--json` to emit the unified
+//! [`SweepReport`](disagg_core::report::SweepReport) schema; the remaining
+//! analytical binaries (`ber_fec`, `power_overhead`, `bandwidth_analysis`,
+//! `iso_performance`, `calibrate`) print Section VI-A/C/D/E analyses
+//! directly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]

@@ -13,7 +13,6 @@
 //!   best electronic design (85 ns).
 
 use cpusim::{pearson_correlation, CoreKind, CpuConfig, SimResult, Simulator};
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use workloads::cpu::{cpu_benchmarks, CpuBenchmark, CpuSuite, InputSize};
 
@@ -179,18 +178,10 @@ fn run_single(
 }
 
 /// Run the full CPU experiment: every registered benchmark, every configured
-/// core model, every latency point. Benchmarks are simulated in parallel.
+/// core model, every latency point. Benchmarks are simulated in parallel
+/// through the sweep engine's [`parallel_map`](crate::sweep::parallel_map).
 pub fn run_cpu_experiment(config: &CpuExperimentConfig) -> Vec<CpuBenchmarkResult> {
-    let benchmarks = cpu_benchmarks();
-    let mut jobs: Vec<(CpuBenchmark, CoreKind)> = Vec::new();
-    for b in &benchmarks {
-        for &k in &config.core_kinds {
-            jobs.push((b.clone(), k));
-        }
-    }
-    jobs.par_iter()
-        .map(|(b, k)| run_single(b, *k, config))
-        .collect()
+    run_cpu_experiment_subset(config, |_| true)
 }
 
 /// Run the experiment for a subset of benchmarks (used by Fig. 11 and the
@@ -207,9 +198,7 @@ pub fn run_cpu_experiment_subset(
             jobs.push((b.clone(), k));
         }
     }
-    jobs.par_iter()
-        .map(|(b, k)| run_single(b, *k, config))
-        .collect()
+    crate::sweep::parallel_map(&jobs, |(b, k)| run_single(b, *k, config))
 }
 
 /// Per-suite, per-input-size slowdown summary: one bar group of Fig. 6/8.

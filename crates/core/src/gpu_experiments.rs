@@ -13,7 +13,6 @@
 
 use cpusim::pearson_correlation;
 use gpusim::{ApplicationProfile, GpuConfig, GpuTimingModel};
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use workloads::gpu::gpu_applications;
 
@@ -117,12 +116,10 @@ fn run_app(app: &ApplicationProfile, config: &GpuExperimentConfig) -> GpuBenchma
     }
 }
 
-/// Run the GPU experiment over all 24 registered applications.
+/// Run the GPU experiment over all 24 registered applications, in parallel
+/// through the sweep engine's [`parallel_map`](crate::sweep::parallel_map).
 pub fn run_gpu_experiment(config: &GpuExperimentConfig) -> Vec<GpuBenchmarkResult> {
-    gpu_applications()
-        .par_iter()
-        .map(|app| run_app(app, config))
-        .collect()
+    crate::sweep::parallel_map(&gpu_applications(), |app| run_app(app, config))
 }
 
 /// The Fig. 10 correlations: slowdown vs L2 miss rate, vs HBM transactions

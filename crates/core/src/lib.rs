@@ -4,7 +4,7 @@
 //! models, the rack fabric, the CPU/GPU simulators, and the workload
 //! registries together into **experiment drivers** that regenerate every
 //! table and figure of the paper's evaluation (Section VI), plus a
-//! [`DisaggregatedRack`](rack_builder::DisaggregatedRack) façade that a
+//! [`DisaggregatedRack`] façade that a
 //! downstream user would start from.
 //!
 //! * [`rack_builder`] — build the paper's photonically-disaggregated rack
@@ -16,7 +16,17 @@
 //! * [`rack_analysis`] — the analytical results: Tables I–IV, the Fig. 5
 //!   connectivity guarantee, power overhead, BER/FEC, bandwidth
 //!   sufficiency, and the iso-performance comparison.
-//! * [`report`] — plain-text table formatting used by the bench binaries.
+//! * [`sweep`] — the declarative scenario-sweep engine: cartesian
+//!   [`SweepGrid`]s over rack topology, DWDM/FEC
+//!   settings, fabric construction, and traffic pattern, executed in
+//!   parallel with memoized fabric builds, plus the engine-backed paper
+//!   artifacts ([`sweep::artifacts`]).
+//! * [`report`] — plain-text table formatting used by the bench binaries
+//!   and the JSON-able [`SweepReport`] schema every
+//!   sweep produces.
+//!
+//! The repository-level `ARCHITECTURE.md` documents how these modules sit
+//! between the device/fabric crates below and the `bench` binaries above.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,6 +36,7 @@ pub mod gpu_experiments;
 pub mod rack_analysis;
 pub mod rack_builder;
 pub mod report;
+pub mod sweep;
 
 pub use cpu_experiments::{
     run_cpu_experiment, summarize_by_suite, CpuBenchmarkResult, CpuExperimentConfig, SuiteSummary,
@@ -33,6 +44,8 @@ pub use cpu_experiments::{
 pub use gpu_experiments::{run_gpu_experiment, GpuBenchmarkResult, GpuExperimentConfig};
 pub use rack_analysis::RackAnalysis;
 pub use rack_builder::{DisaggregatedRack, RackSummary};
+pub use report::{SweepReport, SweepRow};
+pub use sweep::{Scenario, ScenarioResult, SweepGrid};
 
 /// The paper's latency sweep for CPU/GPU studies, in nanoseconds:
 /// baseline (0), the photonic sensitivity points (25, 30, 35), and the best

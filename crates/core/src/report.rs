@@ -6,6 +6,190 @@
 use crate::cpu_experiments::{CpuBenchmarkResult, SuiteSummary};
 use crate::gpu_experiments::GpuBenchmarkResult;
 use crate::rack_analysis::RackAnalysis;
+use serde::{Deserialize, Serialize};
+
+/// One row of a [`SweepReport`]: a labeled scenario with its input
+/// parameters (as display strings) and its output metrics.
+///
+/// `params` and `metrics` are ordered association lists rather than maps so
+/// that serialization order — and therefore the report's JSON byte stream —
+/// is deterministic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepRow {
+    /// Short scenario label (unique within a report).
+    pub label: String,
+    /// Input parameters, in declaration order.
+    pub params: Vec<(String, String)>,
+    /// Output metrics, in declaration order. Non-finite values serialize as
+    /// JSON `null`.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl SweepRow {
+    /// Look up a metric by name.
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        self.metrics
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+    }
+}
+
+/// The unified result schema every sweep and ported paper artifact produces:
+/// a named collection of scenario rows plus report-level summary metrics.
+///
+/// The report is the JSON-able interchange format of the harness: the
+/// `sweep` binary emits it with `--json`, and the determinism contract of
+/// the sweep engine is stated over it (the same grid run twice yields
+/// byte-identical [`SweepReport::to_json`] output).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepReport {
+    /// Report name (e.g. `"fig9"` or `"sweep"`).
+    pub name: String,
+    /// One row per executed scenario, in grid-expansion order.
+    pub rows: Vec<SweepRow>,
+    /// Report-level summary metrics (averages, correlations, totals), in
+    /// declaration order.
+    pub summary: Vec<(String, f64)>,
+}
+
+impl SweepReport {
+    /// Create an empty report.
+    pub fn new(name: impl Into<String>) -> Self {
+        SweepReport {
+            name: name.into(),
+            rows: Vec::new(),
+            summary: Vec::new(),
+        }
+    }
+
+    /// Number of scenario rows.
+    pub fn scenario_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Look up a summary metric by name.
+    pub fn summary_metric(&self, name: &str) -> Option<f64> {
+        self.summary
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Serialize the report to a single-line JSON string.
+    ///
+    /// The vendored offline `serde` shim cannot serialize, so the writer is
+    /// hand-rolled; output is deterministic because all collections are
+    /// ordered and float formatting uses Rust's shortest-round-trip
+    /// representation. Non-finite metric values become `null`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.rows.len() * 128);
+        out.push_str("{\"name\":");
+        json_string(&mut out, &self.name);
+        out.push_str(",\"scenarios\":");
+        out.push_str(&self.rows.len().to_string());
+        out.push_str(",\"summary\":{");
+        for (i, (k, v)) in self.summary.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json_string(&mut out, k);
+            out.push(':');
+            json_number(&mut out, *v);
+        }
+        out.push_str("},\"rows\":[");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"label\":");
+            json_string(&mut out, &row.label);
+            out.push_str(",\"params\":{");
+            for (j, (k, v)) in row.params.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                json_string(&mut out, k);
+                out.push(':');
+                json_string(&mut out, v);
+            }
+            out.push_str("},\"metrics\":{");
+            for (j, (k, v)) in row.metrics.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                json_string(&mut out, k);
+                out.push(':');
+                json_number(&mut out, *v);
+            }
+            out.push_str("}}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn json_number(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Format a [`SweepReport`] as an aligned plain-text table: one line per
+/// row, metrics as `name=value` columns, followed by the summary metrics.
+pub fn format_sweep_report(report: &SweepReport) -> String {
+    let mut out = String::new();
+    let title = format!(
+        "{} — {} scenario{}",
+        report.name,
+        report.rows.len(),
+        if report.rows.len() == 1 { "" } else { "s" }
+    );
+    out.push_str(&title);
+    out.push('\n');
+    out.push_str(&"-".repeat(title.chars().count().max(20)));
+    out.push('\n');
+    let label_width = report
+        .rows
+        .iter()
+        .map(|r| r.label.chars().count())
+        .max()
+        .unwrap_or(8)
+        .max(8);
+    for row in &report.rows {
+        out.push_str(&format!("{:<label_width$} ", row.label));
+        for (k, v) in &row.metrics {
+            out.push_str(&format!(" {k}={v:.4}"));
+        }
+        out.push('\n');
+    }
+    if !report.summary.is_empty() {
+        out.push_str("summary:");
+        for (k, v) in &report.summary {
+            out.push_str(&format!(" {k}={v:.4}"));
+        }
+        out.push('\n');
+    }
+    out
+}
 
 /// Format a simple two-column table with a title.
 pub fn format_table(title: &str, rows: &[(String, String)]) -> String {
@@ -250,6 +434,29 @@ mod tests {
             assert!(s.contains(section), "missing section {section}");
         }
         assert!(s.contains("Total MCMs: 350"));
+    }
+
+    #[test]
+    fn sweep_report_json_is_deterministic_and_escaped() {
+        let mut r = SweepReport::new("demo");
+        r.summary.push(("avg".to_string(), 1.5));
+        r.rows.push(SweepRow {
+            label: "a\"b".to_string(),
+            params: vec![("fabric".to_string(), "awgr".to_string())],
+            metrics: vec![("sat".to_string(), 0.25), ("nan".to_string(), f64::NAN)],
+        });
+        let json = r.to_json();
+        assert_eq!(json, r.clone().to_json());
+        assert!(json.contains("\"a\\\"b\""));
+        assert!(json.contains("\"nan\":null"));
+        assert!(json.contains("\"scenarios\":1"));
+        assert!(json.contains("\"sat\":0.25"));
+        assert_eq!(r.scenario_count(), 1);
+        assert_eq!(r.summary_metric("avg"), Some(1.5));
+        assert_eq!(r.rows[0].metric("sat"), Some(0.25));
+        let text = format_sweep_report(&r);
+        assert!(text.contains("demo — 1 scenario"));
+        assert!(text.contains("sat=0.2500"));
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! spectrum: in-order cores expose the full memory latency on every access,
 //! while out-of-order cores hide part of it behind the reorder buffer and by
 //! overlapping independent misses (memory-level parallelism). Both models
-//! consume the same [`AccessOutcome`](crate::hierarchy::AccessOutcome) stream
+//! consume the same [`AccessOutcome`] stream
 //! from the cache hierarchy, so the cache behaviour (and hence LLC miss rate)
 //! is identical across core models — exactly as the paper observes
 //! ("OOO cores do not substantially change the LLC access patterns").

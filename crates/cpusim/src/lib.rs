@@ -25,6 +25,11 @@
 //!   reports cycles, miss rates, and miss-cycle accounting.
 //! * [`stats`] — slowdown and Pearson-correlation helpers used by the
 //!   figure-regeneration harness (Fig. 7 and 10 report correlations).
+//!
+//! Traces come from the `workloads` crate; the `disagg_core` experiment
+//! drivers run this simulator over the Fig. 6/7/8/12 latency sweeps in
+//! parallel through the `core::sweep` engine. See the repository's
+//! `ARCHITECTURE.md` for the full crate DAG.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -81,12 +81,17 @@ impl FlowAllocation {
         self.direct_gbps + self.indirect_gbps
     }
 
-    /// Fraction of the demand satisfied.
+    /// Fraction of the demand satisfied, always in `[0, 1]`.
+    ///
+    /// A flow with no positive finite demand (zero, negative, NaN, or
+    /// infinite) asks for nothing and is trivially satisfied: this returns
+    /// `1.0`, never NaN.
     pub fn satisfaction(&self) -> f64 {
-        if self.flow.demand_gbps <= 0.0 {
-            1.0
-        } else {
+        // NaN demands fail the comparison and take the trivial branch.
+        if self.flow.demand_gbps.is_finite() && self.flow.demand_gbps > 0.0 {
             (self.satisfied_gbps() / self.flow.demand_gbps).min(1.0)
+        } else {
+            1.0
         }
     }
 }
@@ -111,12 +116,19 @@ pub struct FlowSimReport {
 }
 
 impl FlowSimReport {
-    /// Overall throughput satisfaction (satisfied / offered).
+    /// Overall throughput satisfaction (satisfied / offered), always a
+    /// defined value in `[0, 1]`.
+    ///
+    /// With nothing offered — an empty flow list, or only zero-demand
+    /// flows — there is nothing to fail, so this returns `1.0` by
+    /// definition (never NaN from the `0/0` it would otherwise compute).
     pub fn satisfaction(&self) -> f64 {
-        if self.offered_gbps <= 0.0 {
-            1.0
-        } else {
+        // NaN offered demand fails the comparison and takes the trivial
+        // branch.
+        if self.offered_gbps > 0.0 {
             self.satisfied_gbps / self.offered_gbps
+        } else {
+            1.0
         }
     }
 }
@@ -140,7 +152,51 @@ impl<'a> FlowSimulator<'a> {
     /// then served with two-hop indirect paths through intermediates that
     /// still have free wavelengths on both legs, chosen in a Valiant
     /// (uniformly random among productive candidates) fashion.
+    ///
+    /// # Contract
+    ///
+    /// Every field of the returned [`FlowSimReport`] is a defined (non-NaN)
+    /// value for every input:
+    ///
+    /// * an empty flow list yields a report with zero offered/satisfied
+    ///   bandwidth, zero fractions and latency, and
+    ///   [`satisfaction()`](FlowSimReport::satisfaction) equal to `1.0`;
+    /// * self-flows (`src == dst`) are served MCM-locally and never touch
+    ///   fabric wavelengths;
+    /// * non-finite or negative demands are sanitized to zero demand before
+    ///   allocation, so they count as trivially satisfied.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use fabric::{Flow, FlowSimConfig, FlowSimulator, RackFabric};
+    ///
+    /// let fabric = RackFabric::paper_awgr();
+    /// let sim = FlowSimulator::new(&fabric, FlowSimConfig::default());
+    ///
+    /// // A 100 Gbps flow fits in the >= 125 Gbps direct wavelengths.
+    /// let report = sim.run(&[Flow::new(0, 1, 100.0)]);
+    /// assert!((report.satisfaction() - 1.0).abs() < 1e-9);
+    /// assert_eq!(report.indirect_fraction, 0.0);
+    ///
+    /// // The empty demand matrix is trivially satisfied, never NaN.
+    /// let empty = sim.run(&[]);
+    /// assert_eq!(empty.satisfaction(), 1.0);
+    /// assert_eq!(empty.mean_latency_ns, 0.0);
+    /// ```
     pub fn run(&self, flows: &[Flow]) -> FlowSimReport {
+        // Sanitize the demand matrix per the contract above.
+        let flows: Vec<Flow> = flows
+            .iter()
+            .map(|f| Flow {
+                demand_gbps: if f.demand_gbps.is_finite() {
+                    f.demand_gbps.max(0.0)
+                } else {
+                    0.0
+                },
+                ..*f
+            })
+            .collect();
         let gbps_per_wavelength = self.fabric.config().gbps_per_wavelength;
         let mcm_count = self.fabric.config().mcm_count;
         let mut board = OccupancyBoard::new(mcm_count);
@@ -149,7 +205,7 @@ impl<'a> FlowSimulator<'a> {
 
         // Pass 1: direct allocation.
         let mut direct_shares = Vec::with_capacity(flows.len());
-        for flow in flows {
+        for flow in &flows {
             if flow.src == flow.dst || flow.demand_gbps <= 0.0 {
                 direct_shares.push(flow.demand_gbps.max(0.0));
                 continue;
@@ -375,10 +431,42 @@ mod tests {
     }
 
     #[test]
-    fn empty_flow_list() {
+    fn empty_flow_list_is_fully_defined() {
         let fabric = awgr_fabric(8);
         let report = FlowSimulator::new(&fabric, FlowSimConfig::default()).run(&[]);
         assert_eq!(report.offered_gbps, 0.0);
-        assert!((report.satisfaction() - 1.0).abs() < 1e-9);
+        assert_eq!(report.satisfied_gbps, 0.0);
+        assert_eq!(report.satisfaction(), 1.0);
+        assert_eq!(report.direct_only_fraction, 0.0);
+        assert_eq!(report.indirect_fraction, 0.0);
+        assert_eq!(report.unsatisfied_fraction, 0.0);
+        assert_eq!(report.mean_latency_ns, 0.0);
+    }
+
+    #[test]
+    fn degenerate_demands_are_sanitized_not_nan() {
+        let fabric = awgr_fabric(8);
+        let sim = FlowSimulator::new(&fabric, FlowSimConfig::default());
+        let report = sim.run(&[
+            Flow::new(0, 1, 0.0),
+            Flow::new(1, 2, -50.0),
+            Flow::new(2, 3, f64::NAN),
+            Flow::new(3, 4, f64::INFINITY),
+        ]);
+        assert_eq!(report.offered_gbps, 0.0);
+        assert_eq!(report.satisfaction(), 1.0);
+        for a in &report.allocations {
+            assert_eq!(a.satisfied_gbps(), 0.0);
+            assert_eq!(a.satisfaction(), 1.0);
+            assert!(!a.latency_ns.is_nan());
+        }
+        // The raw accessor is also NaN-safe on unsanitized flows.
+        let raw = FlowAllocation {
+            flow: Flow::new(0, 1, f64::NAN),
+            direct_gbps: 0.0,
+            indirect_gbps: 0.0,
+            latency_ns: 0.0,
+        };
+        assert_eq!(raw.satisfaction(), 1.0);
     }
 }

@@ -20,6 +20,11 @@
 //! * [`electronic`] — PCIe Gen5 tree / Anton 3 / Rosetta-class electronic
 //!   switch latency and bandwidth models (the 85 ns comparison point of
 //!   Fig. 12).
+//!
+//! Demand matrices for [`flowsim`] come from `workloads::traffic`, and the
+//! `core::sweep` engine sweeps this crate's topology knobs (rack size,
+//! fibers, wavelengths, fabric kind) as grid axes. See the repository's
+//! `ARCHITECTURE.md` for the full crate DAG.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -26,6 +26,11 @@
 //! * [`kernel`] — per-kernel analytical profiles and whole-application
 //!   aggregates.
 //! * [`model`] — the timing model itself.
+//!
+//! Application profiles come from the `workloads` crate; the `disagg_core`
+//! experiment drivers evaluate them over the Fig. 9/10/11/12 latency
+//! sweeps in parallel through the `core::sweep` engine. See the
+//! repository's `ARCHITECTURE.md` for the full crate DAG.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

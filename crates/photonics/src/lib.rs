@@ -28,6 +28,11 @@
 //! All models are deterministic and allocation-light; they are intended to be
 //! embedded both in analytical sizing code (the `rack` crate) and in the
 //! flow-level fabric simulator (the `fabric` crate).
+//!
+//! Upstream of everything: the `fabric` and `rack` crates parameterize
+//! their topologies and budgets from these models, and the `core::sweep`
+//! engine exposes the DWDM wavelength/rate and FEC knobs as sweep axes.
+//! See the repository's `ARCHITECTURE.md` for the full crate DAG.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -18,6 +18,11 @@
 //!   throughput, or double throughput for ~7% more chips.
 //! * [`bandwidth`] — the bandwidth-sufficiency analysis (Section VI-A1)
 //!   driven by the production utilization distributions.
+//!
+//! Escape-bandwidth budgets come from the `photonics` crate; the Table III
+//! and Section VI-C/E analyses feed the `disagg_core` drivers and the
+//! engine-backed `table3` artifact. See the repository's `ARCHITECTURE.md`
+//! for the full crate DAG.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -17,6 +17,11 @@
 //!   count, NIC bandwidth) used by the bandwidth-sufficiency analysis
 //!   (Section VI-A1) and the iso-performance provisioning study
 //!   (Section VI-E).
+//! * [`traffic`] — rack-level demand-matrix generators (uniform,
+//!   permutation, hot-spot, nearest-neighbour, all-to-all) that feed the
+//!   flow-level fabric simulator through the `core::sweep` scenario engine
+//!   (the Section VI-A1 bandwidth argument generalized to arbitrary
+//!   patterns).
 //!
 //! All generators take explicit seeds, so every experiment in the harness is
 //! reproducible bit-for-bit.
@@ -28,8 +33,10 @@ pub mod cpu;
 pub mod gpu;
 pub mod patterns;
 pub mod production;
+pub mod traffic;
 
 pub use cpu::{cpu_benchmarks, rodinia_cpu_gpu_intersection, CpuBenchmark, CpuSuite, InputSize};
 pub use gpu::{gpu_applications, GpuSuite};
 pub use patterns::{AccessPattern, PatternParams};
 pub use production::{NodeUtilization, ProductionDistributions, UtilizationSample};
+pub use traffic::TrafficPattern;

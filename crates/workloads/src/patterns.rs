@@ -1,6 +1,6 @@
 //! Memory-access-pattern generators.
 //!
-//! Each pattern produces a [`MemoryTrace`](cpusim::MemoryTrace) whose
+//! Each pattern produces a [`MemoryTrace`] whose
 //! locality characteristics determine how sensitive the workload is to the
 //! LLC-to-memory latency the disaggregation fabric adds. The patterns cover
 //! the computation classes the paper's benchmark suites contain: streaming,

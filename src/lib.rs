@@ -14,8 +14,13 @@
 //! * [`workloads`] — synthetic benchmark kernels and production utilization
 //!   distributions.
 //! * [`rack`] — rack/node/MCM configuration and iso-performance analysis.
-//! * [`core`](disagg_core) — experiment drivers that regenerate every table
-//!   and figure of the paper.
+//! * [`core`] — experiment drivers that regenerate every table and figure
+//!   of the paper, and the declarative scenario-sweep engine
+//!   ([`core::sweep`]) that executes arbitrary
+//!   topology/wavelength/fabric/workload grids in parallel.
+//!
+//! See the repository's `ARCHITECTURE.md` for the crate dependency DAG and
+//! the data flow from the device models up to the paper artifacts.
 
 pub use cpusim;
 pub use disagg_core as core;
