@@ -1,0 +1,200 @@
+//! Temporal bandwidth-steering sweeps: phased demand timelines under
+//! wavelength-reallocation policies, through the `core::sweep` timeline
+//! axis.
+//!
+//! ```text
+//! cargo run --release --bin timeline -- \
+//!     --mcms 32,64 --fabric awgr --schedule shifthot4,hpcmix,steady \
+//!     --policy static,greedy,hyst0.9 --demand 400 --epochs 3 --json
+//! ```
+//!
+//! Schedules: `shifthotN` (N-hot incast whose hot set rotates every phase),
+//! `hpcmix` (halo -> ramp -> GPU burst -> drain, scales derived from the
+//! GPU workload registry), `steady` (a single flat permutation phase).
+//! Policies: `static`, `greedy`, `hystX` (re-steer below satisfaction X).
+//! `--epochs` sets the epochs per phase; `--smoke` runs a small fixed grid
+//! and exits (the CI rot-check mode).
+
+use std::process::exit;
+
+use disagg_core::report::format_sweep_report;
+use disagg_core::sweep::SweepGrid;
+use fabric::{FabricKind, ReallocationPolicy};
+use workloads::{DemandTimeline, TrafficPattern};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: timeline [--mcms N,..] [--fabric awgr|wave|spatial,..] [--schedule S,..]\n\
+         \x20               [--policy static|greedy|hystX,..] [--demand GBPS] [--epochs N]\n\
+         \x20               [--latency NS,..] [--replicates N] [--seed N] [--json] [--smoke]\n\
+         schedules: shifthotN | hpcmix | steady"
+    );
+    exit(2);
+}
+
+fn parse_list<T: std::str::FromStr>(flag: &str, value: &str) -> Vec<T> {
+    value
+        .split(',')
+        .map(|v| {
+            v.trim().parse().unwrap_or_else(|_| {
+                eprintln!("timeline: invalid value {v:?} for {flag}");
+                exit(2);
+            })
+        })
+        .collect()
+}
+
+fn parse_scalar<T: std::str::FromStr>(flag: &str, value: &str) -> T {
+    if value.contains(',') {
+        eprintln!("timeline: {flag} takes a single value, got list {value:?}");
+        exit(2);
+    }
+    value.trim().parse().unwrap_or_else(|_| {
+        eprintln!("timeline: invalid value {value:?} for {flag}");
+        exit(2);
+    })
+}
+
+fn parse_fabric(value: &str) -> Vec<FabricKind> {
+    value
+        .split(',')
+        .map(|v| match v.trim() {
+            "awgr" => FabricKind::ParallelAwgrs,
+            "wave" => FabricKind::WaveSelective,
+            "spatial" => FabricKind::Spatial,
+            other => {
+                eprintln!("timeline: unknown fabric {other:?} (awgr|wave|spatial)");
+                exit(2);
+            }
+        })
+        .collect()
+}
+
+fn parse_policies(value: &str) -> Vec<ReallocationPolicy> {
+    value
+        .split(',')
+        .map(|v| {
+            let v = v.trim();
+            match v {
+                "static" => ReallocationPolicy::Static,
+                "greedy" => ReallocationPolicy::GreedyResteer,
+                _ => {
+                    let threshold = v
+                        .strip_prefix("hyst")
+                        .and_then(|t| t.parse::<f64>().ok())
+                        .filter(|t| (0.0..=1.0).contains(t));
+                    match threshold {
+                        Some(min_satisfaction) => {
+                            ReallocationPolicy::Hysteresis { min_satisfaction }
+                        }
+                        None => {
+                            eprintln!(
+                                "timeline: unknown policy {v:?} (static|greedy|hystX, 0<=X<=1)"
+                            );
+                            exit(2);
+                        }
+                    }
+                }
+            }
+        })
+        .collect()
+}
+
+fn parse_schedules(value: &str, demand_gbps: f64, epochs_per_phase: u32) -> Vec<DemandTimeline> {
+    value
+        .split(',')
+        .map(|v| {
+            let v = v.trim();
+            if let Some(hot) = v
+                .strip_prefix("shifthot")
+                .and_then(|n| n.parse::<u32>().ok())
+            {
+                // Four phases, rotating the hot set by a fixed stride of
+                // 5 MCMs per phase (coprime with the default rack sizes, so
+                // successive hot sets never land on each other).
+                DemandTimeline::shifting_hotspot(hot, demand_gbps, 4, epochs_per_phase, 5)
+            } else if v == "hpcmix" {
+                DemandTimeline::hpc_mix(demand_gbps, epochs_per_phase)
+            } else if v == "steady" {
+                DemandTimeline::steady(
+                    TrafficPattern::Permutation { demand_gbps },
+                    epochs_per_phase * 4,
+                )
+            } else {
+                eprintln!("timeline: unknown schedule {v:?} (shifthotN|hpcmix|steady)");
+                exit(2);
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut grid = SweepGrid::named("timeline").mcm_counts([32]);
+    let mut schedules = "shifthot4,hpcmix".to_string();
+    let mut policies = "static,greedy".to_string();
+    let mut demand = 400.0;
+    let mut epochs_per_phase = 3u32;
+    let mut json = false;
+    let mut smoke = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut take = || {
+            i += 1;
+            args.get(i).cloned().unwrap_or_else(|| usage())
+        };
+        match flag {
+            "--mcms" => {
+                let v = take();
+                grid = grid.mcm_counts(parse_list("--mcms", &v));
+            }
+            "--fabric" => {
+                let v = take();
+                grid = grid.fabric_kinds(parse_fabric(&v));
+            }
+            "--schedule" => schedules = take(),
+            "--policy" => policies = take(),
+            "--demand" => demand = parse_scalar("--demand", &take()),
+            "--epochs" => epochs_per_phase = parse_scalar("--epochs", &take()),
+            "--latency" => {
+                let v = take();
+                grid = grid.direct_latencies_ns(parse_list("--latency", &v));
+            }
+            "--replicates" => {
+                let v: u32 = parse_scalar("--replicates", &take());
+                grid = grid.replicates(v);
+            }
+            "--seed" => {
+                let v: u64 = parse_scalar("--seed", &take());
+                grid = grid.base_seed(v);
+            }
+            "--json" => json = true,
+            "--smoke" => smoke = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("timeline: unknown flag {other:?}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+
+    if smoke {
+        grid = grid.mcm_counts([16]);
+        schedules = "shifthot2,steady".to_string();
+        policies = "static,greedy".to_string();
+        epochs_per_phase = 2;
+    }
+
+    let grid = grid
+        .timelines(parse_schedules(&schedules, demand, epochs_per_phase))
+        .realloc_policies(parse_policies(&policies));
+    let report = grid.run();
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", format_sweep_report(&report));
+    }
+}

@@ -18,9 +18,10 @@
 //!   sufficiency, and the iso-performance comparison.
 //! * [`sweep`] — the declarative scenario-sweep engine: cartesian
 //!   [`SweepGrid`]s over rack topology, DWDM/FEC
-//!   settings, fabric construction, and traffic pattern, executed in
-//!   parallel with memoized fabric builds, plus the engine-backed paper
-//!   artifacts ([`sweep::artifacts`]).
+//!   settings, fabric construction, and traffic pattern — or, on the
+//!   temporal axis, phased demand timelines under wavelength-reallocation
+//!   policies — executed in parallel with memoized fabric builds, plus the
+//!   engine-backed paper artifacts ([`sweep::artifacts`]).
 //! * [`report`] — plain-text table formatting used by the bench binaries
 //!   and the JSON-able [`SweepReport`] schema every
 //!   sweep produces.
@@ -45,7 +46,7 @@ pub use gpu_experiments::{run_gpu_experiment, GpuBenchmarkResult, GpuExperimentC
 pub use rack_analysis::RackAnalysis;
 pub use rack_builder::{DisaggregatedRack, RackSummary};
 pub use report::{SweepReport, SweepRow};
-pub use sweep::{Scenario, ScenarioResult, SweepGrid};
+pub use sweep::{Scenario, ScenarioLoad, ScenarioResult, SweepGrid, TimelineCase};
 
 /// The paper's latency sweep for CPU/GPU studies, in nanoseconds:
 /// baseline (0), the photonic sensitivity points (25, 30, 35), and the best

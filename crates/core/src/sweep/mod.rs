@@ -11,8 +11,13 @@
 //! * [`Scenario`] — one expanded grid point with a deterministic per-scenario
 //!   seed derived by hashing the traffic-defining parameters (not the
 //!   scenario's position, so adding values to one axis never changes the
-//!   seeds of existing scenarios; and not the fabric/DWDM/FEC/latency axes,
-//!   so sweeping those compares fabrics under an identical demand matrix).
+//!   seeds of existing scenarios; and not the fabric/DWDM/FEC/latency or
+//!   reallocation-policy axes, so sweeping those compares fabrics and
+//!   policies under an identical demand matrix).
+//! * [`ScenarioLoad`] — the load axis: static [`TrafficPattern`] matrices,
+//!   or — when [`SweepGrid::timelines`] is set — phased
+//!   [`DemandTimeline`]s executed per epoch by `fabric`'s
+//!   [`TimelineSimulator`] under each swept [`ReallocationPolicy`].
 //! * [`SweepGrid::run`] — parallel execution via rayon with memoized fabric
 //!   construction (scenarios that share a topology share one built
 //!   [`RackFabric`]), producing the unified [`SweepReport`] schema.
@@ -26,11 +31,14 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use fabric::{FabricKind, FlowSimConfig, FlowSimulator, RackFabric, RackFabricConfig};
+use fabric::{
+    FabricKind, Flow, FlowSimConfig, FlowSimulator, RackFabric, RackFabricConfig,
+    ReallocationPolicy, TimelineConfig, TimelineSimulator,
+};
 use photonics::fec::FecConfig;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use workloads::TrafficPattern;
+use workloads::{DemandTimeline, TrafficPattern};
 
 use crate::report::{SweepReport, SweepRow};
 
@@ -96,8 +104,16 @@ pub struct SweepGrid {
     /// bandwidth overhead. (Latency budgets in `direct_latencies_ns` are
     /// totals — the paper's 35 ns point already includes ~2.5 ns of FEC.)
     pub fec_configs: Vec<FecConfig>,
-    /// Traffic patterns to offer.
+    /// Traffic patterns to offer. Ignored when `timelines` is non-empty
+    /// (the grid then sweeps the temporal axis instead).
     pub patterns: Vec<TrafficPattern>,
+    /// Demand timelines to offer. When non-empty, the load axis becomes the
+    /// cartesian product `timelines x realloc_policies` and the `patterns`
+    /// axis is ignored.
+    pub timelines: Vec<DemandTimeline>,
+    /// Wavelength-reallocation policies swept against each timeline. Only
+    /// meaningful when `timelines` is non-empty.
+    pub realloc_policies: Vec<ReallocationPolicy>,
     /// One-way direct fabric latencies in nanoseconds.
     pub direct_latencies_ns: Vec<f64>,
     /// Replicates per grid point (each gets an independent derived seed).
@@ -122,6 +138,8 @@ impl Default for SweepGrid {
                 flows_per_mcm: 4,
                 demand_gbps: 100.0,
             }],
+            timelines: Vec::new(),
+            realloc_policies: vec![ReallocationPolicy::GreedyResteer],
             direct_latencies_ns: vec![35.0],
             replicates: 1,
             base_seed: 0xD15A66,
@@ -181,6 +199,23 @@ impl SweepGrid {
         self
     }
 
+    /// Set the demand-timeline axis. A non-empty timeline axis switches the
+    /// grid into temporal mode: the load axis becomes
+    /// `timelines x realloc_policies` and `patterns` is ignored.
+    pub fn timelines(mut self, timelines: impl IntoIterator<Item = DemandTimeline>) -> Self {
+        self.timelines = timelines.into_iter().collect();
+        self
+    }
+
+    /// Set the wavelength-reallocation-policy axis (temporal mode only).
+    pub fn realloc_policies(
+        mut self,
+        policies: impl IntoIterator<Item = ReallocationPolicy>,
+    ) -> Self {
+        self.realloc_policies = policies.into_iter().collect();
+        self
+    }
+
     /// Set the direct-latency axis (ns).
     pub fn direct_latencies_ns(mut self, latencies: impl IntoIterator<Item = f64>) -> Self {
         self.direct_latencies_ns = latencies.into_iter().collect();
@@ -199,16 +234,44 @@ impl SweepGrid {
         self
     }
 
+    /// The load axis the grid sweeps: the traffic patterns, or — in
+    /// temporal mode — every timeline under every reallocation policy.
+    pub fn loads(&self) -> Vec<ScenarioLoad> {
+        if self.timelines.is_empty() {
+            self.patterns
+                .iter()
+                .map(|&p| ScenarioLoad::Pattern(p))
+                .collect()
+        } else {
+            self.timelines
+                .iter()
+                .flat_map(|t| {
+                    self.realloc_policies.iter().map(move |&policy| {
+                        ScenarioLoad::Timeline(TimelineCase {
+                            timeline: t.clone(),
+                            policy,
+                        })
+                    })
+                })
+                .collect()
+        }
+    }
+
     /// Number of scenarios the grid expands to (the product of all axis
     /// lengths times the replicate count).
     pub fn scenario_count(&self) -> usize {
+        let loads = if self.timelines.is_empty() {
+            self.patterns.len()
+        } else {
+            self.timelines.len() * self.realloc_policies.len()
+        };
         self.fabric_kinds.len()
             * self.mcm_counts.len()
             * self.fibers_per_mcm.len()
             * self.wavelengths_per_fiber.len()
             * self.gbps_per_wavelength.len()
             * self.fec_configs.len()
-            * self.patterns.len()
+            * loads
             * self.direct_latencies_ns.len()
             * self.replicates.max(1) as usize
     }
@@ -216,6 +279,7 @@ impl SweepGrid {
     /// Expand the grid into concrete scenarios, in axis-declaration order
     /// (fabric kind outermost, replicate innermost).
     pub fn expand(&self) -> Vec<Scenario> {
+        let loads = self.loads();
         let mut scenarios = Vec::with_capacity(self.scenario_count());
         for &kind in &self.fabric_kinds {
             for &mcm_count in &self.mcm_counts {
@@ -223,7 +287,7 @@ impl SweepGrid {
                     for &wavelengths in &self.wavelengths_per_fiber {
                         for &gbps in &self.gbps_per_wavelength {
                             for &fec in &self.fec_configs {
-                                for &pattern in &self.patterns {
+                                for load in &loads {
                                     for &latency in &self.direct_latencies_ns {
                                         for replicate in 0..self.replicates.max(1) {
                                             let fabric = RackFabricConfig {
@@ -237,14 +301,14 @@ impl SweepGrid {
                                             let seed = scenario_seed(
                                                 self.base_seed,
                                                 mcm_count,
-                                                &pattern,
+                                                load,
                                                 replicate,
                                             );
                                             scenarios.push(Scenario {
                                                 index: scenarios.len(),
                                                 fabric,
                                                 fec,
-                                                pattern,
+                                                load: load.clone(),
                                                 direct_latency_ns: latency,
                                                 replicate,
                                                 seed,
@@ -310,8 +374,42 @@ impl SweepGrid {
     }
 }
 
+/// The offered load of one scenario: a single static demand matrix, or a
+/// phased [`DemandTimeline`] executed under a wavelength-reallocation
+/// policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ScenarioLoad {
+    /// A static demand matrix drawn from a traffic pattern.
+    Pattern(TrafficPattern),
+    /// A temporal demand timeline with its reallocation policy.
+    Timeline(TimelineCase),
+}
+
+impl ScenarioLoad {
+    /// Short stable label for scenario labels and report rows.
+    pub fn label(&self) -> String {
+        match self {
+            ScenarioLoad::Pattern(p) => p.label(),
+            ScenarioLoad::Timeline(tc) => {
+                format!("{}~{}", tc.timeline.name, tc.policy.label())
+            }
+        }
+    }
+}
+
+/// One point on the temporal load axis: a timeline and the policy it runs
+/// under. Policies are *excluded* from the scenario seed, so every policy
+/// is evaluated against the identical epoch-by-epoch demand.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimelineCase {
+    /// The phased demand schedule.
+    pub timeline: DemandTimeline,
+    /// The wavelength-reallocation policy.
+    pub policy: ReallocationPolicy,
+}
+
 /// One expanded grid point.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Scenario {
     /// Position in grid-expansion order.
     pub index: usize,
@@ -319,15 +417,16 @@ pub struct Scenario {
     pub fabric: RackFabricConfig,
     /// FEC pipeline applied to the wavelength rate.
     pub fec: FecConfig,
-    /// Offered traffic pattern.
-    pub pattern: TrafficPattern,
+    /// Offered load: a static pattern or a demand timeline with its policy.
+    pub load: ScenarioLoad,
     /// One-way direct fabric latency (ns).
     pub direct_latency_ns: f64,
     /// Replicate number within the grid point.
     pub replicate: u32,
     /// Deterministic seed derived from the traffic-defining parameters
-    /// (pattern, rack size, replicate) — shared across the fabric, DWDM,
-    /// FEC, and latency axes so those sweeps compare under identical load.
+    /// (load, rack size, replicate) — shared across the fabric, DWDM,
+    /// FEC, latency, and reallocation-policy axes so those sweeps compare
+    /// under identical load.
     pub seed: u64,
 }
 
@@ -344,7 +443,7 @@ impl Scenario {
             self.fabric.fibers_per_mcm,
             self.fabric.wavelengths_per_fiber,
             self.fabric.gbps_per_wavelength,
-            self.pattern.label(),
+            self.load.label(),
             self.direct_latency_ns,
             self.replicate
         )
@@ -352,7 +451,7 @@ impl Scenario {
 
     /// The scenario's input parameters as display pairs for report rows.
     pub fn params(&self) -> Vec<(String, String)> {
-        vec![
+        let mut params = vec![
             ("fabric".into(), fabric_kind_label(self.fabric.kind).into()),
             ("mcms".into(), self.fabric.mcm_count.to_string()),
             ("fibers".into(), self.fabric.fibers_per_mcm.to_string()),
@@ -368,11 +467,21 @@ impl Scenario {
                 "fec_overhead".into(),
                 format!("{}", self.fec.bandwidth_overhead),
             ),
-            ("pattern".into(), self.pattern.label()),
+        ];
+        match &self.load {
+            ScenarioLoad::Pattern(p) => params.push(("pattern".into(), p.label())),
+            ScenarioLoad::Timeline(tc) => {
+                params.push(("timeline".into(), tc.timeline.name.clone()));
+                params.push(("policy".into(), tc.policy.label()));
+                params.push(("epochs".into(), tc.timeline.total_epochs().to_string()));
+            }
+        }
+        params.extend([
             ("latency_ns".into(), format!("{}", self.direct_latency_ns)),
             ("replicate".into(), self.replicate.to_string()),
             ("seed".into(), self.seed.to_string()),
-        ]
+        ]);
+        params
     }
 }
 
@@ -407,30 +516,42 @@ pub struct ScenarioResult {
     pub unsatisfied_fraction: f64,
     /// Demand-weighted mean latency (ns).
     pub mean_latency_ns: f64,
+    /// Number of epochs executed (1 for static pattern scenarios).
+    pub epochs: usize,
+    /// Wavelength reconfigurations performed after the initial assignment
+    /// (always 0 for static pattern scenarios).
+    pub reconfigurations: usize,
 }
 
 impl ScenarioResult {
-    /// Convert to the unified report-row schema.
+    /// Convert to the unified report-row schema. Temporal scenarios gain
+    /// `epochs` and `reconfigurations` metrics; static pattern rows keep
+    /// the original metric set.
     pub fn to_row(&self) -> SweepRow {
+        let mut metrics = vec![
+            ("flows".to_string(), self.flows as f64),
+            ("offered_gbps".to_string(), self.offered_gbps),
+            ("satisfied_gbps".to_string(), self.satisfied_gbps),
+            ("satisfaction".to_string(), self.satisfaction),
+            (
+                "direct_only_fraction".to_string(),
+                self.direct_only_fraction,
+            ),
+            ("indirect_fraction".to_string(), self.indirect_fraction),
+            (
+                "unsatisfied_fraction".to_string(),
+                self.unsatisfied_fraction,
+            ),
+            ("mean_latency_ns".to_string(), self.mean_latency_ns),
+        ];
+        if matches!(self.scenario.load, ScenarioLoad::Timeline(_)) {
+            metrics.push(("epochs".to_string(), self.epochs as f64));
+            metrics.push(("reconfigurations".to_string(), self.reconfigurations as f64));
+        }
         SweepRow {
             label: self.scenario.label(),
             params: self.scenario.params(),
-            metrics: vec![
-                ("flows".to_string(), self.flows as f64),
-                ("offered_gbps".to_string(), self.offered_gbps),
-                ("satisfied_gbps".to_string(), self.satisfied_gbps),
-                ("satisfaction".to_string(), self.satisfaction),
-                (
-                    "direct_only_fraction".to_string(),
-                    self.direct_only_fraction,
-                ),
-                ("indirect_fraction".to_string(), self.indirect_fraction),
-                (
-                    "unsatisfied_fraction".to_string(),
-                    self.unsatisfied_fraction,
-                ),
-                ("mean_latency_ns".to_string(), self.mean_latency_ns),
-            ],
+            metrics,
         }
     }
 }
@@ -491,48 +612,85 @@ impl FabricCache {
 
 fn run_scenario(scenario: &Scenario, cache: &FabricCache, indirect_hop_ns: f64) -> ScenarioResult {
     let fabric = cache.get(&scenario.fabric);
-    let flows = scenario
-        .pattern
-        .flows(scenario.fabric.mcm_count, scenario.seed);
-    let sim = FlowSimulator::new(
-        fabric,
-        FlowSimConfig {
-            direct_latency_ns: scenario.direct_latency_ns,
-            indirect_hop_latency_ns: indirect_hop_ns,
-            // Decorrelate the Valiant intermediate choice from the traffic
-            // generator while staying a pure function of the scenario seed.
-            seed: scenario.seed ^ 0x9E37_79B9_7F4A_7C15,
-        },
-    );
-    let report = sim.run(&flows);
-    ScenarioResult {
-        scenario: *scenario,
-        flows: flows.len(),
-        offered_gbps: report.offered_gbps,
-        satisfied_gbps: report.satisfied_gbps,
-        satisfaction: report.satisfaction(),
-        direct_only_fraction: report.direct_only_fraction,
-        indirect_fraction: report.indirect_fraction,
-        unsatisfied_fraction: report.unsatisfied_fraction,
-        mean_latency_ns: report.mean_latency_ns,
+    let flow_config = FlowSimConfig {
+        direct_latency_ns: scenario.direct_latency_ns,
+        indirect_hop_latency_ns: indirect_hop_ns,
+        // Decorrelate the Valiant intermediate choice from the traffic
+        // generator while staying a pure function of the scenario seed.
+        seed: scenario.seed ^ 0x9E37_79B9_7F4A_7C15,
+    };
+    match &scenario.load {
+        ScenarioLoad::Pattern(pattern) => {
+            let flows = pattern.flows(scenario.fabric.mcm_count, scenario.seed);
+            let report = FlowSimulator::new(fabric, flow_config).run(&flows);
+            ScenarioResult {
+                scenario: scenario.clone(),
+                flows: flows.len(),
+                offered_gbps: report.offered_gbps,
+                satisfied_gbps: report.satisfied_gbps,
+                satisfaction: report.satisfaction(),
+                direct_only_fraction: report.direct_only_fraction,
+                indirect_fraction: report.indirect_fraction,
+                unsatisfied_fraction: report.unsatisfied_fraction,
+                mean_latency_ns: report.mean_latency_ns,
+                epochs: 1,
+                reconfigurations: 0,
+            }
+        }
+        ScenarioLoad::Timeline(tc) => {
+            let epochs: Vec<Vec<Flow>> = tc
+                .timeline
+                .epoch_matrices(scenario.fabric.mcm_count, scenario.seed);
+            let sim = TimelineSimulator::new(
+                fabric,
+                TimelineConfig {
+                    flow: flow_config,
+                    policy: tc.policy,
+                },
+            );
+            let report = sim.run(&epochs);
+            ScenarioResult {
+                scenario: scenario.clone(),
+                flows: report.epochs.iter().map(|e| e.flows).sum(),
+                offered_gbps: report.offered_gbps,
+                satisfied_gbps: report.satisfied_gbps,
+                satisfaction: report.satisfaction(),
+                direct_only_fraction: report.direct_only_fraction,
+                indirect_fraction: report.indirect_fraction,
+                unsatisfied_fraction: report.unsatisfied_fraction,
+                mean_latency_ns: report.mean_latency_ns,
+                epochs: report.epochs.len(),
+                reconfigurations: report.reconfigurations,
+            }
+        }
     }
 }
 
 /// Derive the per-scenario seed by hashing (FNV-1a) into the grid's base
 /// seed exactly the parameters that define the offered traffic: the
-/// pattern, the rack size it expands over, and the replicate number.
+/// pattern (or the timeline's full phase spec), the rack size it expands
+/// over, and the replicate number.
 ///
 /// Deliberately excluded: fabric kind, fibers, wavelengths, data rate, FEC,
-/// and latency. Scenarios that differ only along those axes therefore offer
-/// the *same* demand matrix, so an axis sweep compares fabrics under
-/// identical load instead of attributing traffic-sampling noise to the
-/// swept axis. The hash is position-independent: extending an axis never
-/// changes the seeds of existing scenarios.
-fn scenario_seed(base: u64, mcm_count: u32, pattern: &TrafficPattern, replicate: u32) -> u64 {
+/// latency, and — in temporal mode — the reallocation policy. Scenarios
+/// that differ only along those axes therefore offer the *same* demand
+/// (matrix or epoch sequence), so an axis sweep compares fabrics and
+/// policies under identical load instead of attributing traffic-sampling
+/// noise to the swept axis. The hash is position-independent: extending an
+/// axis never changes the seeds of existing scenarios.
+fn scenario_seed(base: u64, mcm_count: u32, load: &ScenarioLoad, replicate: u32) -> u64 {
     let mut h = Fnv1a::new(base);
     h.write_u64(mcm_count as u64);
-    h.write_str(&pattern.label());
-    h.write_u64(pattern.demand_gbps().to_bits());
+    match load {
+        ScenarioLoad::Pattern(pattern) => {
+            h.write_str(&pattern.label());
+            h.write_u64(pattern.demand_gbps().to_bits());
+        }
+        ScenarioLoad::Timeline(tc) => {
+            h.write_str("timeline:");
+            h.write_str(&tc.timeline.spec_label());
+        }
+    }
     h.write_u64(replicate as u64);
     h.finish()
 }
@@ -619,7 +777,7 @@ mod tests {
                 .iter()
                 .find(|t| {
                     t.fabric == s.fabric
-                        && t.pattern == s.pattern
+                        && t.load == s.load
                         && t.direct_latency_ns == s.direct_latency_ns
                         && t.replicate == s.replicate
                 })
@@ -740,6 +898,65 @@ mod tests {
         let items: Vec<u32> = (0..100).collect();
         let doubled = parallel_map(&items, |x| x * 2);
         assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    fn timeline_grid() -> SweepGrid {
+        SweepGrid::named("tl")
+            .mcm_counts([16])
+            .timelines([
+                DemandTimeline::shifting_hotspot(2, 400.0, 3, 2, 5),
+                DemandTimeline::steady(TrafficPattern::Permutation { demand_gbps: 200.0 }, 4),
+            ])
+            .realloc_policies([
+                ReallocationPolicy::Static,
+                ReallocationPolicy::GreedyResteer,
+            ])
+    }
+
+    #[test]
+    fn timeline_axis_expands_timelines_times_policies() {
+        let grid = timeline_grid();
+        assert_eq!(grid.scenario_count(), 2 * 2);
+        let report = grid.run();
+        assert_eq!(report.rows.len(), 4);
+        for row in &report.rows {
+            assert!(row.metric("epochs").unwrap() >= 4.0);
+            assert!(row.metric("reconfigurations").unwrap() >= 0.0);
+            let sat = row.metric("satisfaction").unwrap();
+            assert!((0.0..=1.0 + 1e-9).contains(&sat));
+        }
+        // Patterns axis is ignored in temporal mode.
+        let same = timeline_grid().patterns([]).run();
+        assert_eq!(same.to_json(), report.to_json());
+    }
+
+    #[test]
+    fn timeline_policies_share_the_scenario_seed() {
+        // The policy axis must not resample the demand: both policies of a
+        // timeline see identical epoch matrices, so their rows differ only
+        // through the reallocation behaviour.
+        let scenarios = timeline_grid().expand();
+        assert_eq!(scenarios[0].seed, scenarios[1].seed);
+        assert_ne!(scenarios[0].seed, scenarios[2].seed);
+        let report = timeline_grid().run();
+        assert_eq!(
+            report.rows[0].metric("offered_gbps"),
+            report.rows[1].metric("offered_gbps")
+        );
+    }
+
+    #[test]
+    fn timeline_runs_are_deterministic_and_parallel_equals_serial() {
+        let grid = timeline_grid();
+        assert_eq!(grid.run().to_json(), grid.run().to_json());
+        assert_eq!(grid.run(), grid.run_serial());
+    }
+
+    #[test]
+    fn empty_policy_axis_expands_to_nothing_in_temporal_mode() {
+        let grid = timeline_grid().realloc_policies([]);
+        assert_eq!(grid.scenario_count(), 0);
+        assert!(grid.run().rows.is_empty());
     }
 
     #[test]

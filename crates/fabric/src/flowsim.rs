@@ -36,6 +36,21 @@ impl Flow {
             demand_gbps,
         }
     }
+
+    /// The flow with its demand sanitized per the simulator contract:
+    /// non-finite or negative demands become zero (trivially satisfied).
+    /// Both [`FlowSimulator`] and the timeline simulator apply exactly this
+    /// rule, so they always agree on what a matrix offers.
+    pub fn sanitized(self) -> Self {
+        Flow {
+            demand_gbps: if self.demand_gbps.is_finite() {
+                self.demand_gbps.max(0.0)
+            } else {
+                0.0
+            },
+            ..self
+        }
+    }
 }
 
 /// Simulator configuration.
@@ -186,17 +201,7 @@ impl<'a> FlowSimulator<'a> {
     /// ```
     pub fn run(&self, flows: &[Flow]) -> FlowSimReport {
         // Sanitize the demand matrix per the contract above.
-        let flows: Vec<Flow> = flows
-            .iter()
-            .map(|f| Flow {
-                demand_gbps: if f.demand_gbps.is_finite() {
-                    f.demand_gbps.max(0.0)
-                } else {
-                    0.0
-                },
-                ..*f
-            })
-            .collect();
+        let flows: Vec<Flow> = flows.iter().map(|f| f.sanitized()).collect();
         let gbps_per_wavelength = self.fabric.config().gbps_per_wavelength;
         let mcm_count = self.fabric.config().mcm_count;
         let mut board = OccupancyBoard::new(mcm_count);

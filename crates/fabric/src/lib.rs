@@ -17,6 +17,11 @@
 //! * [`flowsim`] — a flow-level simulator that allocates direct and indirect
 //!   wavelength capacity to a demand matrix and reports satisfaction,
 //!   hop counts, and latency.
+//! * [`timeline`] — an epoch-based temporal simulator on top of [`flowsim`]:
+//!   one demand matrix per reconfiguration interval, evaluated against a
+//!   persistent wavelength assignment under static / greedy-re-steer /
+//!   hysteresis reallocation policies (the Section VI-A bandwidth-steering
+//!   argument made quantitative).
 //! * [`electronic`] — PCIe Gen5 tree / Anton 3 / Rosetta-class electronic
 //!   switch latency and bandwidth models (the 85 ns comparison point of
 //!   Fig. 12).
@@ -34,9 +39,13 @@ pub mod electronic;
 pub mod flowsim;
 pub mod rackfabric;
 pub mod routing;
+pub mod timeline;
 
 pub use awgr::Awgr;
 pub use electronic::{ElectronicFabric, ElectronicSwitchKind};
 pub use flowsim::{Flow, FlowSimConfig, FlowSimReport, FlowSimulator};
 pub use rackfabric::{FabricKind, FabricReport, RackFabric, RackFabricConfig};
 pub use routing::{IndirectRouter, OccupancyBoard, RouteDecision, RoutingStats};
+pub use timeline::{
+    EpochResult, ReallocationPolicy, TimelineConfig, TimelineReport, TimelineSimulator,
+};

@@ -1,0 +1,644 @@
+//! Epoch-based temporal simulation with wavelength-reallocation policies.
+//!
+//! The paper's bandwidth-steering argument (Section VI-A) is temporal: HPC
+//! traffic shifts over an application's lifetime, and the photonic fabric
+//! can re-steer wavelengths to follow it. [`TimelineSimulator`] makes that
+//! argument quantitative: it consumes one demand matrix per *epoch* (a
+//! reconfiguration interval), maintains a persistent wavelength *steering
+//! state* — the per-pair capacity granted by running the flow-level
+//! allocator ([`FlowSimulator`]) on some reference matrix — and evaluates
+//! each epoch's actual demand against it under a configurable
+//! [`ReallocationPolicy`]:
+//!
+//! * [`Static`](ReallocationPolicy::Static) — wavelengths are assigned once
+//!   for the first epoch's demand and never move (no reconfiguration
+//!   machinery, but the assignment goes stale as traffic shifts);
+//! * [`GreedyResteer`](ReallocationPolicy::GreedyResteer) — the assignment
+//!   is recomputed whenever the offered matrix changes (an upper bound on
+//!   steering agility, at one reconfiguration per change);
+//! * [`Hysteresis`](ReallocationPolicy::Hysteresis) — the assignment is
+//!   kept until its delivered satisfaction drops below a threshold, trading
+//!   a bounded satisfaction loss for fewer reconfigurations.
+//!
+//! Per-epoch and aggregate satisfaction, latency, and reconfiguration
+//! counts land in [`TimelineReport`]. Demand matrices typically come from
+//! `workloads::timeline::DemandTimeline`; this module stays
+//! workload-agnostic by taking plain `&[Vec<Flow>]`.
+
+use std::collections::HashMap;
+
+use crate::flowsim::{Flow, FlowSimConfig, FlowSimulator};
+use crate::rackfabric::RackFabric;
+use serde::{Deserialize, Serialize};
+
+/// When (and whether) the fabric recomputes its wavelength assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ReallocationPolicy {
+    /// Assign wavelengths for the first epoch's demand, then never move
+    /// them.
+    Static,
+    /// Re-run the wavelength allocator every time the offered matrix
+    /// changes.
+    GreedyResteer,
+    /// Keep the current assignment until its delivered satisfaction drops
+    /// below `min_satisfaction`, then re-steer for the current matrix.
+    Hysteresis {
+        /// Satisfaction threshold in `[0, 1]` below which the fabric
+        /// re-steers.
+        min_satisfaction: f64,
+    },
+}
+
+impl ReallocationPolicy {
+    /// Short stable label for report rows and CLI parsing.
+    pub fn label(&self) -> String {
+        match self {
+            ReallocationPolicy::Static => "static".to_string(),
+            ReallocationPolicy::GreedyResteer => "greedy".to_string(),
+            ReallocationPolicy::Hysteresis { min_satisfaction } => {
+                format!("hyst{min_satisfaction}")
+            }
+        }
+    }
+}
+
+/// Configuration of one timeline run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimelineConfig {
+    /// Flow-level allocator parameters (latencies and the steering seed).
+    pub flow: FlowSimConfig,
+    /// Reallocation policy across epochs.
+    pub policy: ReallocationPolicy,
+}
+
+impl Default for TimelineConfig {
+    fn default() -> Self {
+        TimelineConfig {
+            flow: FlowSimConfig::default(),
+            policy: ReallocationPolicy::GreedyResteer,
+        }
+    }
+}
+
+/// One epoch's delivered service.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpochResult {
+    /// Epoch index.
+    pub epoch: usize,
+    /// Number of flows offered.
+    pub flows: usize,
+    /// Total offered demand (Gbps), after the flow simulator's demand
+    /// sanitization.
+    pub offered_gbps: f64,
+    /// Total satisfied demand (Gbps).
+    pub satisfied_gbps: f64,
+    /// Satisfied-weighted mean latency (ns); zero if nothing was satisfied.
+    pub mean_latency_ns: f64,
+    /// Fraction of flows fully served without indirect capacity.
+    pub direct_only_fraction: f64,
+    /// Fraction of flows served partly over indirect two-hop grants.
+    pub indirect_fraction: f64,
+    /// Fraction of flows with unmet demand.
+    pub unsatisfied_fraction: f64,
+    /// Whether the wavelength assignment was recomputed *for* this epoch
+    /// (always `false` for epoch 0, whose initial assignment is not counted
+    /// as a reconfiguration).
+    pub reconfigured: bool,
+}
+
+impl EpochResult {
+    /// Satisfied over offered, `1.0` when nothing was offered.
+    pub fn satisfaction(&self) -> f64 {
+        if self.offered_gbps > 0.0 {
+            self.satisfied_gbps / self.offered_gbps
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Aggregate service over a whole timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimelineReport {
+    /// Per-epoch results, in temporal order.
+    pub epochs: Vec<EpochResult>,
+    /// Total offered demand across all epochs (Gbps).
+    pub offered_gbps: f64,
+    /// Total satisfied demand across all epochs (Gbps).
+    pub satisfied_gbps: f64,
+    /// Satisfied-weighted mean latency across all epochs (ns).
+    pub mean_latency_ns: f64,
+    /// Number of wavelength reconfigurations after the initial assignment.
+    pub reconfigurations: usize,
+    /// Flow-weighted direct-only fraction across all epochs.
+    pub direct_only_fraction: f64,
+    /// Flow-weighted indirect fraction across all epochs.
+    pub indirect_fraction: f64,
+    /// Flow-weighted unsatisfied fraction across all epochs.
+    pub unsatisfied_fraction: f64,
+}
+
+impl TimelineReport {
+    /// Aggregate satisfaction: total satisfied over total offered, which
+    /// equals the offered-demand-weighted mean of the per-epoch
+    /// satisfactions. `1.0` when nothing was offered.
+    pub fn satisfaction(&self) -> f64 {
+        if self.offered_gbps > 0.0 {
+            self.satisfied_gbps / self.offered_gbps
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Per-pair capacity granted by one wavelength assignment.
+#[derive(Debug, Clone, Copy, Default)]
+struct PairGrant {
+    direct_gbps: f64,
+    indirect_gbps: f64,
+    /// Satisfied-weighted mean latency of the pair's granted capacity.
+    latency_ns: f64,
+}
+
+impl PairGrant {
+    fn total_gbps(&self) -> f64 {
+        self.direct_gbps + self.indirect_gbps
+    }
+}
+
+/// A persistent wavelength assignment: what each MCM pair was granted the
+/// last time the allocator ran.
+struct Steering {
+    grants: HashMap<(u32, u32), PairGrant>,
+}
+
+impl Steering {
+    fn from_allocation(fabric: &RackFabric, config: FlowSimConfig, flows: &[Flow]) -> Self {
+        let report = FlowSimulator::new(fabric, config).run(flows);
+        let mut grants: HashMap<(u32, u32), PairGrant> = HashMap::new();
+        let mut weighted: HashMap<(u32, u32), f64> = HashMap::new();
+        for a in &report.allocations {
+            if a.flow.src == a.flow.dst {
+                continue;
+            }
+            let key = (a.flow.src, a.flow.dst);
+            let g = grants.entry(key).or_default();
+            g.direct_gbps += a.direct_gbps;
+            g.indirect_gbps += a.indirect_gbps;
+            *weighted.entry(key).or_default() += a.latency_ns * a.satisfied_gbps();
+        }
+        for (key, g) in grants.iter_mut() {
+            let total = g.total_gbps();
+            g.latency_ns = if total > 0.0 {
+                weighted[key] / total
+            } else {
+                0.0
+            };
+        }
+        Steering { grants }
+    }
+}
+
+/// The epoch-based temporal simulator.
+///
+/// # Example
+///
+/// ```
+/// use fabric::{
+///     Flow, RackFabric, ReallocationPolicy, TimelineConfig, TimelineSimulator,
+/// };
+///
+/// let mut cfg = fabric::RackFabricConfig::paper_rack(fabric::FabricKind::ParallelAwgrs);
+/// cfg.mcm_count = 16;
+/// let fabric = RackFabric::new(cfg);
+///
+/// // A hot spot that moves from MCM 1 to MCM 9 between epochs: every
+/// // source pushes 400 Gbps at one destination, far above the ~125 Gbps
+/// // direct wavelengths, so indirect grants matter and stale steering
+/// // hurts.
+/// let epochs: Vec<Vec<Flow>> = [1u32, 9].iter().map(|&hot| {
+///     (0..16).filter(|&s| s != hot).map(|s| Flow::new(s, hot, 400.0)).collect()
+/// }).collect();
+///
+/// let run = |policy| {
+///     TimelineSimulator::new(
+///         &fabric,
+///         TimelineConfig { policy, ..TimelineConfig::default() },
+///     )
+///     .run(&epochs)
+/// };
+/// let greedy = run(ReallocationPolicy::GreedyResteer);
+/// let fixed = run(ReallocationPolicy::Static);
+///
+/// // Re-steering follows the hot spot; the static assignment goes stale.
+/// assert!(greedy.satisfaction() >= fixed.satisfaction());
+/// assert_eq!(greedy.reconfigurations, 1);
+/// assert_eq!(fixed.reconfigurations, 0);
+/// ```
+#[derive(Debug)]
+pub struct TimelineSimulator<'a> {
+    fabric: &'a RackFabric,
+    config: TimelineConfig,
+}
+
+impl<'a> TimelineSimulator<'a> {
+    /// Create a simulator over a fabric.
+    pub fn new(fabric: &'a RackFabric, config: TimelineConfig) -> Self {
+        TimelineSimulator { fabric, config }
+    }
+
+    /// Run the timeline: one demand matrix per epoch, in temporal order.
+    ///
+    /// Epoch 0 always computes an initial wavelength assignment from its own
+    /// matrix (not counted as a reconfiguration); later epochs follow the
+    /// configured [`ReallocationPolicy`]. Under
+    /// [`GreedyResteer`](ReallocationPolicy::GreedyResteer), an epoch whose
+    /// delivered service is evaluated against an assignment computed from
+    /// its own matrix reproduces [`FlowSimulator::run`]'s aggregate
+    /// satisfaction exactly.
+    ///
+    /// Every aggregate of the returned [`TimelineReport`] is a defined
+    /// (non-NaN) value, including for an empty epoch list.
+    pub fn run(&self, epochs: &[Vec<Flow>]) -> TimelineReport {
+        let mut steering: Option<Steering> = None;
+        let mut prev_matrix: Option<Vec<Flow>> = None;
+        let mut results = Vec::with_capacity(epochs.len());
+
+        for (epoch, raw) in epochs.iter().enumerate() {
+            let flows = sanitize(raw);
+            let mut reconfigured = false;
+            // The hysteresis probe is the epoch's final result whenever it
+            // clears the threshold; keep it instead of evaluating twice.
+            let mut probed: Option<EpochResult> = None;
+            if steering.is_none() {
+                // Initial assignment: every policy steers for epoch 0.
+                steering = Some(self.steer(epoch, &flows));
+            } else {
+                match self.config.policy {
+                    ReallocationPolicy::Static => {}
+                    ReallocationPolicy::GreedyResteer => {
+                        if prev_matrix.as_deref() != Some(flows.as_slice()) {
+                            steering = Some(self.steer(epoch, &flows));
+                            reconfigured = true;
+                        }
+                    }
+                    ReallocationPolicy::Hysteresis { min_satisfaction } => {
+                        let current =
+                            self.evaluate(epoch, &flows, steering.as_ref().unwrap(), false);
+                        if current.satisfaction() < min_satisfaction - 1e-12 {
+                            steering = Some(self.steer(epoch, &flows));
+                            reconfigured = true;
+                        } else {
+                            probed = Some(current);
+                        }
+                    }
+                }
+            }
+            results.push(probed.unwrap_or_else(|| {
+                self.evaluate(epoch, &flows, steering.as_ref().unwrap(), reconfigured)
+            }));
+            prev_matrix = Some(flows);
+        }
+
+        summarize(results)
+    }
+
+    /// Recompute the wavelength assignment for a demand matrix. The steering
+    /// seed is decorrelated per epoch but a pure function of the configured
+    /// seed, so whole timelines stay deterministic.
+    fn steer(&self, epoch: usize, flows: &[Flow]) -> Steering {
+        let config = FlowSimConfig {
+            seed: self
+                .config
+                .flow
+                .seed
+                .wrapping_add((epoch as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            ..self.config.flow
+        };
+        Steering::from_allocation(self.fabric, config, flows)
+    }
+
+    /// Evaluate one epoch's (sanitized) demand against a wavelength
+    /// assignment. Per pair, demand up to the pair's granted capacity is
+    /// served at the grant's latency; self-flows are MCM-local and always
+    /// served at the direct latency.
+    fn evaluate(
+        &self,
+        epoch: usize,
+        flows: &[Flow],
+        steering: &Steering,
+        reconfigured: bool,
+    ) -> EpochResult {
+        // Aggregate epoch demand per pair: grants are per pair, so flows
+        // sharing a pair share its capacity (proportionally to demand).
+        let mut pair_demand: HashMap<(u32, u32), f64> = HashMap::new();
+        for f in flows {
+            if f.src != f.dst && f.demand_gbps > 0.0 {
+                *pair_demand.entry((f.src, f.dst)).or_default() += f.demand_gbps;
+            }
+        }
+
+        let mut offered = 0.0;
+        let mut satisfied = 0.0;
+        let mut weighted_latency = 0.0;
+        let mut direct_only = 0usize;
+        let mut indirect = 0usize;
+        let mut unsatisfied = 0usize;
+
+        for f in flows {
+            offered += f.demand_gbps;
+            if f.src == f.dst || f.demand_gbps <= 0.0 {
+                // Served locally (or asking for nothing): fully satisfied,
+                // matching FlowSimulator's contract.
+                satisfied += f.demand_gbps;
+                weighted_latency += f.demand_gbps * self.config.flow.direct_latency_ns;
+                direct_only += 1;
+                continue;
+            }
+            let demand_p = pair_demand[&(f.src, f.dst)];
+            let grant = steering
+                .grants
+                .get(&(f.src, f.dst))
+                .copied()
+                .unwrap_or_default();
+            let served_p = demand_p.min(grant.total_gbps());
+            // This flow's proportional share of the pair's service.
+            let share = f.demand_gbps / demand_p;
+            let served = served_p * share;
+            satisfied += served;
+            weighted_latency += served * grant.latency_ns;
+            let fully = demand_p <= grant.total_gbps() + 1e-9;
+            let used_indirect = served_p > grant.direct_gbps + 1e-9;
+            if !fully {
+                unsatisfied += 1;
+            }
+            if used_indirect {
+                indirect += 1;
+            } else if fully {
+                direct_only += 1;
+            }
+        }
+
+        let n = flows.len().max(1) as f64;
+        EpochResult {
+            epoch,
+            flows: flows.len(),
+            offered_gbps: offered,
+            satisfied_gbps: satisfied,
+            mean_latency_ns: if satisfied > 0.0 {
+                weighted_latency / satisfied
+            } else {
+                0.0
+            },
+            direct_only_fraction: direct_only as f64 / n,
+            indirect_fraction: indirect as f64 / n,
+            unsatisfied_fraction: unsatisfied as f64 / n,
+            reconfigured,
+        }
+    }
+}
+
+/// Apply [`FlowSimulator`]'s demand sanitization so evaluation, steering,
+/// and change detection all see the matrix the allocator would.
+fn sanitize(flows: &[Flow]) -> Vec<Flow> {
+    flows.iter().map(|f| f.sanitized()).collect()
+}
+
+fn summarize(epochs: Vec<EpochResult>) -> TimelineReport {
+    let offered: f64 = epochs.iter().map(|e| e.offered_gbps).sum();
+    let satisfied: f64 = epochs.iter().map(|e| e.satisfied_gbps).sum();
+    let weighted_latency: f64 = epochs
+        .iter()
+        .map(|e| e.mean_latency_ns * e.satisfied_gbps)
+        .sum();
+    let total_flows: usize = epochs.iter().map(|e| e.flows).sum();
+    let flow_weighted = |pick: &dyn Fn(&EpochResult) -> f64| -> f64 {
+        if total_flows == 0 {
+            return 0.0;
+        }
+        epochs.iter().map(|e| pick(e) * e.flows as f64).sum::<f64>() / total_flows as f64
+    };
+    TimelineReport {
+        offered_gbps: offered,
+        satisfied_gbps: satisfied,
+        mean_latency_ns: if satisfied > 0.0 {
+            weighted_latency / satisfied
+        } else {
+            0.0
+        },
+        reconfigurations: epochs.iter().filter(|e| e.reconfigured).count(),
+        direct_only_fraction: flow_weighted(&|e| e.direct_only_fraction),
+        indirect_fraction: flow_weighted(&|e| e.indirect_fraction),
+        unsatisfied_fraction: flow_weighted(&|e| e.unsatisfied_fraction),
+        epochs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rackfabric::{FabricKind, RackFabricConfig};
+
+    fn awgr_fabric(mcms: u32) -> RackFabric {
+        let mut cfg = RackFabricConfig::paper_rack(FabricKind::ParallelAwgrs);
+        cfg.mcm_count = mcms;
+        RackFabric::new(cfg)
+    }
+
+    fn hotspot_epochs(mcms: u32, hots: &[u32], demand: f64) -> Vec<Vec<Flow>> {
+        hots.iter()
+            .map(|&hot| {
+                (0..mcms)
+                    .filter(|&s| s != hot)
+                    .map(|s| Flow::new(s, hot, demand))
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn run(
+        fabric: &RackFabric,
+        policy: ReallocationPolicy,
+        epochs: &[Vec<Flow>],
+    ) -> TimelineReport {
+        TimelineSimulator::new(
+            fabric,
+            TimelineConfig {
+                policy,
+                ..TimelineConfig::default()
+            },
+        )
+        .run(epochs)
+    }
+
+    #[test]
+    fn greedy_epoch_matches_flow_simulator() {
+        let fabric = awgr_fabric(16);
+        let epochs = hotspot_epochs(16, &[1, 9, 4], 400.0);
+        let report = run(&fabric, ReallocationPolicy::GreedyResteer, &epochs);
+        for (e, matrix) in report.epochs.iter().zip(&epochs) {
+            let direct = FlowSimulator::new(
+                &fabric,
+                FlowSimConfig {
+                    seed: FlowSimConfig::default()
+                        .seed
+                        .wrapping_add((e.epoch as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                    ..FlowSimConfig::default()
+                },
+            )
+            .run(matrix);
+            assert!(
+                (e.satisfaction() - direct.satisfaction()).abs() < 1e-9,
+                "epoch {} satisfaction {} vs flowsim {}",
+                e.epoch,
+                e.satisfaction(),
+                direct.satisfaction()
+            );
+            assert!((e.mean_latency_ns - direct.mean_latency_ns).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn greedy_beats_static_on_a_shifting_hotspot() {
+        let fabric = awgr_fabric(16);
+        let epochs = hotspot_epochs(16, &[1, 9, 4, 12], 400.0);
+        let greedy = run(&fabric, ReallocationPolicy::GreedyResteer, &epochs);
+        let fixed = run(&fabric, ReallocationPolicy::Static, &epochs);
+        assert!(
+            greedy.satisfaction() > fixed.satisfaction(),
+            "greedy {} vs static {}",
+            greedy.satisfaction(),
+            fixed.satisfaction()
+        );
+        assert_eq!(greedy.reconfigurations, 3);
+        assert_eq!(fixed.reconfigurations, 0);
+    }
+
+    #[test]
+    fn static_matches_greedy_while_traffic_is_stable() {
+        let fabric = awgr_fabric(16);
+        let matrix: Vec<Flow> = (0..16).map(|s| Flow::new(s, (s + 5) % 16, 300.0)).collect();
+        let epochs = vec![matrix.clone(), matrix.clone(), matrix];
+        let greedy = run(&fabric, ReallocationPolicy::GreedyResteer, &epochs);
+        let fixed = run(&fabric, ReallocationPolicy::Static, &epochs);
+        assert!((greedy.satisfaction() - fixed.satisfaction()).abs() < 1e-9);
+        // An unchanged matrix never triggers a greedy re-steer.
+        assert_eq!(greedy.reconfigurations, 0);
+    }
+
+    #[test]
+    fn hysteresis_interpolates_between_static_and_greedy() {
+        let fabric = awgr_fabric(16);
+        let epochs = hotspot_epochs(16, &[1, 9, 4, 12], 400.0);
+        let greedy = run(&fabric, ReallocationPolicy::GreedyResteer, &epochs);
+        let fixed = run(&fabric, ReallocationPolicy::Static, &epochs);
+        let hyst = run(
+            &fabric,
+            ReallocationPolicy::Hysteresis {
+                min_satisfaction: 0.9,
+            },
+            &epochs,
+        );
+        assert!(hyst.satisfaction() >= fixed.satisfaction() - 1e-9);
+        assert!(hyst.reconfigurations <= greedy.reconfigurations);
+        // A threshold of zero never re-steers; a threshold of one always
+        // re-steers when service degrades.
+        let never = run(
+            &fabric,
+            ReallocationPolicy::Hysteresis {
+                min_satisfaction: 0.0,
+            },
+            &epochs,
+        );
+        assert_eq!(never.reconfigurations, 0);
+        assert!((never.satisfaction() - fixed.satisfaction()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregates_are_the_weighted_mean_of_epochs() {
+        let fabric = awgr_fabric(12);
+        let epochs = hotspot_epochs(12, &[1, 5, 9], 350.0);
+        let report = run(
+            &fabric,
+            ReallocationPolicy::Hysteresis {
+                min_satisfaction: 0.8,
+            },
+            &epochs,
+        );
+        let offered: f64 = report.epochs.iter().map(|e| e.offered_gbps).sum();
+        let satisfied: f64 = report.epochs.iter().map(|e| e.satisfied_gbps).sum();
+        assert!((report.offered_gbps - offered).abs() < 1e-9);
+        assert!((report.satisfied_gbps - satisfied).abs() < 1e-9);
+        let weighted_mean = report
+            .epochs
+            .iter()
+            .map(|e| e.satisfaction() * e.offered_gbps)
+            .sum::<f64>()
+            / offered;
+        assert!((report.satisfaction() - weighted_mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_timeline_and_empty_epochs_are_fully_defined() {
+        let fabric = awgr_fabric(8);
+        let report = run(&fabric, ReallocationPolicy::Static, &[]);
+        assert_eq!(report.satisfaction(), 1.0);
+        assert_eq!(report.mean_latency_ns, 0.0);
+        assert_eq!(report.reconfigurations, 0);
+
+        let report = run(
+            &fabric,
+            ReallocationPolicy::GreedyResteer,
+            &[vec![], vec![]],
+        );
+        assert_eq!(report.satisfaction(), 1.0);
+        assert_eq!(report.epochs.len(), 2);
+        for e in &report.epochs {
+            assert_eq!(e.satisfaction(), 1.0);
+            assert!(!e.mean_latency_ns.is_nan());
+        }
+    }
+
+    #[test]
+    fn degenerate_demands_are_sanitized() {
+        let fabric = awgr_fabric(8);
+        let epochs = vec![vec![
+            Flow::new(0, 0, 100.0),
+            Flow::new(1, 2, f64::NAN),
+            Flow::new(2, 3, -5.0),
+            Flow::new(3, 4, f64::INFINITY),
+        ]];
+        let report = run(&fabric, ReallocationPolicy::GreedyResteer, &epochs);
+        assert_eq!(report.offered_gbps, 100.0);
+        assert!((report.satisfaction() - 1.0).abs() < 1e-9);
+        assert!(!report.mean_latency_ns.is_nan());
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let fabric = awgr_fabric(16);
+        let epochs = hotspot_epochs(16, &[2, 11], 450.0);
+        for policy in [
+            ReallocationPolicy::Static,
+            ReallocationPolicy::GreedyResteer,
+            ReallocationPolicy::Hysteresis {
+                min_satisfaction: 0.85,
+            },
+        ] {
+            assert_eq!(run(&fabric, policy, &epochs), run(&fabric, policy, &epochs));
+        }
+    }
+
+    #[test]
+    fn policy_labels_are_stable() {
+        assert_eq!(ReallocationPolicy::Static.label(), "static");
+        assert_eq!(ReallocationPolicy::GreedyResteer.label(), "greedy");
+        assert_eq!(
+            ReallocationPolicy::Hysteresis {
+                min_satisfaction: 0.9
+            }
+            .label(),
+            "hyst0.9"
+        );
+    }
+}

@@ -22,6 +22,11 @@
 //!   flow-level fabric simulator through the `core::sweep` scenario engine
 //!   (the Section VI-A1 bandwidth argument generalized to arbitrary
 //!   patterns).
+//! * [`timeline`] — multi-phase [`DemandTimeline`]s composing the traffic
+//!   patterns into phased schedules with ramps, bursts, and shifting hot
+//!   spots, consumed per epoch by the `fabric::timeline` simulator and the
+//!   `core::sweep` timeline axis (the Section VI-A bandwidth-steering
+//!   scenario).
 //!
 //! All generators take explicit seeds, so every experiment in the harness is
 //! reproducible bit-for-bit.
@@ -33,10 +38,12 @@ pub mod cpu;
 pub mod gpu;
 pub mod patterns;
 pub mod production;
+pub mod timeline;
 pub mod traffic;
 
 pub use cpu::{cpu_benchmarks, rodinia_cpu_gpu_intersection, CpuBenchmark, CpuSuite, InputSize};
 pub use gpu::{gpu_applications, GpuSuite};
 pub use patterns::{AccessPattern, PatternParams};
 pub use production::{NodeUtilization, ProductionDistributions, UtilizationSample};
+pub use timeline::{DemandTimeline, Phase};
 pub use traffic::TrafficPattern;

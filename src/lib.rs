@@ -8,11 +8,12 @@
 //!
 //! * [`photonics`] — photonic links, switches, FEC/BER and power models.
 //! * [`fabric`] — the rack-scale optical fabric, indirect routing, the flow
-//!   simulator, and the electronic-switch baselines.
+//!   simulator, the epoch-based timeline simulator with
+//!   wavelength-reallocation policies, and the electronic-switch baselines.
 //! * [`cpusim`] — the trace-driven CPU timing simulator.
 //! * [`gpusim`] — the analytical GPU timing simulator.
-//! * [`workloads`] — synthetic benchmark kernels and production utilization
-//!   distributions.
+//! * [`workloads`] — synthetic benchmark kernels, production utilization
+//!   distributions, traffic patterns, and phased demand timelines.
 //! * [`rack`] — rack/node/MCM configuration and iso-performance analysis.
 //! * [`core`] — experiment drivers that regenerate every table and figure
 //!   of the paper, and the declarative scenario-sweep engine

@@ -1,0 +1,86 @@
+//! Golden-file snapshot tests for the paper artifacts' `--json` output.
+//!
+//! Each test regenerates one artifact's [`SweepReport`] JSON and compares it
+//! byte-for-byte against the checked-in fixture under `tests/golden/`, so
+//! the harness's byte-identical-output claim is enforced by CI instead of
+//! by hand. To regenerate the fixtures after an intentional change:
+//!
+//! ```sh
+//! BLESS=1 cargo test --release --test golden_artifacts
+//! ```
+//!
+//! The CPU-experiment artifacts (fig7, fig11) are too slow without
+//! optimization, so those two tests are ignored in debug builds and run by
+//! CI under `--release`.
+
+use std::fs;
+use std::path::PathBuf;
+
+use photonic_disagg::core::sweep::artifacts;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.json"))
+}
+
+/// Compare `json` against the named fixture, or rewrite the fixture when
+/// `BLESS=1` is set.
+fn check(name: &str, json: String) {
+    let path = golden_path(name);
+    if std::env::var_os("BLESS").is_some() {
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, json + "\n").unwrap();
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!(
+            "missing golden fixture {}; run `BLESS=1 cargo test --release --test golden_artifacts` to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected.trim_end(),
+        json,
+        "{name} --json output drifted from tests/golden/{name}.json; if the change is intentional, \
+         regenerate with `BLESS=1 cargo test --release --test golden_artifacts`"
+    );
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "runs the full CPU experiment; too slow unoptimized — covered by the release-mode CI step"
+)]
+fn fig7_json_matches_golden() {
+    check("fig7", artifacts::fig7().report.to_json());
+}
+
+#[test]
+fn fig9_json_matches_golden() {
+    check("fig9", artifacts::fig9().report.to_json());
+}
+
+#[test]
+fn fig10_json_matches_golden() {
+    check("fig10", artifacts::fig10().report.to_json());
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "runs the shared-Rodinia CPU experiment; too slow unoptimized — covered by the release-mode CI step"
+)]
+fn fig11_json_matches_golden() {
+    check("fig11", artifacts::fig11().report.to_json());
+}
+
+#[test]
+fn table1_json_matches_golden() {
+    check("table1", artifacts::table1().report.to_json());
+}
+
+#[test]
+fn table3_json_matches_golden() {
+    check("table3", artifacts::table3().report.to_json());
+}

@@ -7,6 +7,7 @@ use photonic_disagg::cpusim::{CoreKind, CpuConfig, Simulator};
 use photonic_disagg::fabric::awgr::Awgr;
 use photonic_disagg::fabric::flowsim::{Flow, FlowSimConfig, FlowSimulator};
 use photonic_disagg::fabric::rackfabric::{FabricKind, RackFabric, RackFabricConfig};
+use photonic_disagg::fabric::timeline::{ReallocationPolicy, TimelineConfig, TimelineSimulator};
 use photonic_disagg::gpusim::{GpuConfig, GpuTimingModel};
 use photonic_disagg::photonics::units::Bandwidth;
 use photonic_disagg::rack::chips::{ChipKind, ChipSpec};
@@ -60,8 +61,101 @@ proptest! {
             .collect();
         let report = FlowSimulator::new(&fabric, FlowSimConfig { seed, ..Default::default() }).run(&flows);
         prop_assert!(report.satisfied_gbps <= report.offered_gbps + 1e-6);
+        prop_assert!(report.satisfaction() >= 0.0 && report.satisfaction() <= 1.0 + 1e-9);
         for a in &report.allocations {
             prop_assert!(a.satisfied_gbps() <= a.flow.demand_gbps + 1e-6);
+            prop_assert!(a.satisfaction() >= 0.0 && a.satisfaction() <= 1.0);
+        }
+    }
+
+    /// Per-fiber (aggregate wavelength) capacity conservation: the fabric
+    /// can never deliver more inter-MCM bandwidth than the sum of its
+    /// direct per-pair wavelength capacity, whatever the demand — indirect
+    /// routing moves capacity, it cannot mint it.
+    #[test]
+    fn flow_simulator_conserves_fabric_capacity(
+        seed in 0u64..1_000,
+        mcms in 4u32..24,
+        demand in 100.0f64..20_000.0,
+    ) {
+        let mut cfg = RackFabricConfig::paper_rack(FabricKind::ParallelAwgrs);
+        cfg.mcm_count = mcms;
+        let fabric = RackFabric::new(cfg);
+        let flows: Vec<Flow> = (0..mcms)
+            .flat_map(|a| (0..mcms).filter(move |&b| b != a).map(move |b| Flow::new(a, b, demand)))
+            .collect();
+        let report = FlowSimulator::new(&fabric, FlowSimConfig { seed, ..Default::default() }).run(&flows);
+        let mut aggregate = 0.0;
+        for a in 0..mcms {
+            for b in 0..mcms {
+                if a != b {
+                    aggregate += fabric.direct_bandwidth(a, b).gbps();
+                }
+            }
+        }
+        prop_assert!(
+            report.satisfied_gbps <= aggregate + 1e-6,
+            "satisfied {} exceeds aggregate capacity {}",
+            report.satisfied_gbps,
+            aggregate
+        );
+    }
+
+    /// Timeline invariants under every policy: per-epoch satisfied never
+    /// exceeds offered, satisfactions stay in [0, 1], the aggregate equals
+    /// the offered-weighted mean of the per-epoch results, and the
+    /// reconfiguration count is bounded by the epochs after the first.
+    #[test]
+    fn timeline_simulator_invariants(
+        seed in 0u64..500,
+        policy_idx in 0usize..3,
+        n_epochs in 1usize..6,
+        demand in 50.0f64..3_000.0,
+    ) {
+        let mut cfg = RackFabricConfig::paper_rack(FabricKind::ParallelAwgrs);
+        cfg.mcm_count = 16;
+        let fabric = RackFabric::new(cfg);
+        let policy = [
+            ReallocationPolicy::Static,
+            ReallocationPolicy::GreedyResteer,
+            ReallocationPolicy::Hysteresis { min_satisfaction: 0.85 },
+        ][policy_idx];
+        // A hot spot that hops around the rack pseudo-randomly per epoch.
+        let epochs: Vec<Vec<Flow>> = (0..n_epochs)
+            .map(|e| {
+                let hot = ((seed + 7 * e as u64) % 16) as u32;
+                (0..16).filter(|&s| s != hot).map(|s| Flow::new(s, hot, demand)).collect()
+            })
+            .collect();
+        let report = TimelineSimulator::new(
+            &fabric,
+            TimelineConfig { policy, flow: FlowSimConfig { seed, ..Default::default() } },
+        )
+        .run(&epochs);
+
+        let mut offered = 0.0;
+        let mut satisfied = 0.0;
+        for e in &report.epochs {
+            prop_assert!(e.satisfied_gbps <= e.offered_gbps + 1e-6);
+            prop_assert!(e.satisfaction() >= 0.0 && e.satisfaction() <= 1.0 + 1e-9);
+            offered += e.offered_gbps;
+            satisfied += e.satisfied_gbps;
+        }
+        prop_assert!((report.offered_gbps - offered).abs() < 1e-6);
+        prop_assert!((report.satisfied_gbps - satisfied).abs() < 1e-6);
+        // Aggregate satisfaction == offered-weighted mean of epoch results.
+        if offered > 0.0 {
+            let weighted = report
+                .epochs
+                .iter()
+                .map(|e| e.satisfaction() * e.offered_gbps)
+                .sum::<f64>()
+                / offered;
+            prop_assert!((report.satisfaction() - weighted).abs() < 1e-9);
+        }
+        prop_assert!(report.reconfigurations <= report.epochs.len().saturating_sub(1));
+        if policy == ReallocationPolicy::Static {
+            prop_assert!(report.reconfigurations == 0);
         }
     }
 
