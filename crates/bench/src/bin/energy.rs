@@ -1,0 +1,262 @@
+//! Energy-aware scenario sweeps: the Section VI-C power budget made
+//! dynamic, plus the reconfiguration-energy tradeoff between wavelength
+//! reallocation policies.
+//!
+//! ```text
+//! cargo run --release --bin energy -- \
+//!     --mcms 32 --schedule shifthot4,hpcmix --policy static,greedy,hyst0.9 \
+//!     --mode always,util --demand 400 --epochs 3 --json
+//! ```
+//!
+//! With no flags the binary prints two reports:
+//!
+//! 1. **headline** — the paper's 350-MCM design point under both energy
+//!    modes, reproducing the ~11 kW / ~5% Section VI-C totals under the
+//!    always-on assumption and showing what utilization-scaled transceivers
+//!    would save.
+//! 2. **tradeoff** — the PR 3 demand timelines under static / greedy /
+//!    hysteresis reallocation, with per-scenario joules, watts, pJ/bit and
+//!    reconfiguration energy: how much satisfaction each re-steer buys and
+//!    what it costs.
+//!
+//! Modes: `always` (transceivers at full rate, the paper's pessimistic
+//! assumption), `util` (energy follows carried bits; indirect bits pay two
+//! link traversals). `--epoch-seconds` and `--reconfig-joules` tune the
+//! energy knobs; `--smoke` runs the small fixed CI grid. `--json` emits a
+//! single document: `{"headline": <SweepReport>, "tradeoff": <SweepReport>}`
+//! (just the one `SweepReport` in `--smoke` mode).
+
+use std::process::exit;
+
+use disagg_core::energy::{EnergyConfig, EnergyMode};
+use disagg_core::report::format_sweep_report;
+use disagg_core::sweep::{artifacts, SweepGrid};
+use fabric::{FabricKind, ReallocationPolicy};
+use workloads::{DemandTimeline, TrafficPattern};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: energy [--mcms N,..] [--fabric awgr|wave|spatial,..] [--schedule S,..]\n\
+         \x20             [--policy static|greedy|hystX,..] [--mode always|util,..]\n\
+         \x20             [--demand GBPS] [--epochs N] [--epoch-seconds S]\n\
+         \x20             [--reconfig-joules J] [--seed N] [--json] [--smoke]\n\
+         schedules: shifthotN | hpcmix | steady"
+    );
+    exit(2);
+}
+
+fn parse_list<T: std::str::FromStr>(flag: &str, value: &str) -> Vec<T> {
+    value
+        .split(',')
+        .map(|v| {
+            v.trim().parse().unwrap_or_else(|_| {
+                eprintln!("energy: invalid value {v:?} for {flag}");
+                exit(2);
+            })
+        })
+        .collect()
+}
+
+fn parse_scalar<T: std::str::FromStr>(flag: &str, value: &str) -> T {
+    if value.contains(',') {
+        eprintln!("energy: {flag} takes a single value, got list {value:?}");
+        exit(2);
+    }
+    value.trim().parse().unwrap_or_else(|_| {
+        eprintln!("energy: invalid value {value:?} for {flag}");
+        exit(2);
+    })
+}
+
+fn parse_fabric(value: &str) -> Vec<FabricKind> {
+    value
+        .split(',')
+        .map(|v| match v.trim() {
+            "awgr" => FabricKind::ParallelAwgrs,
+            "wave" => FabricKind::WaveSelective,
+            "spatial" => FabricKind::Spatial,
+            other => {
+                eprintln!("energy: unknown fabric {other:?} (awgr|wave|spatial)");
+                exit(2);
+            }
+        })
+        .collect()
+}
+
+fn parse_policies(value: &str) -> Vec<ReallocationPolicy> {
+    value
+        .split(',')
+        .map(|v| {
+            let v = v.trim();
+            match v {
+                "static" => ReallocationPolicy::Static,
+                "greedy" => ReallocationPolicy::GreedyResteer,
+                _ => {
+                    let threshold = v
+                        .strip_prefix("hyst")
+                        .and_then(|t| t.parse::<f64>().ok())
+                        .filter(|t| (0.0..=1.0).contains(t));
+                    match threshold {
+                        Some(min_satisfaction) => {
+                            ReallocationPolicy::Hysteresis { min_satisfaction }
+                        }
+                        None => {
+                            eprintln!(
+                                "energy: unknown policy {v:?} (static|greedy|hystX, 0<=X<=1)"
+                            );
+                            exit(2);
+                        }
+                    }
+                }
+            }
+        })
+        .collect()
+}
+
+fn parse_modes(value: &str) -> Vec<EnergyMode> {
+    value
+        .split(',')
+        .map(|v| match v.trim() {
+            "always" | "always-on" => EnergyMode::AlwaysOn,
+            "util" | "utilization" => EnergyMode::UtilizationScaled,
+            other => {
+                eprintln!("energy: unknown mode {other:?} (always|util)");
+                exit(2);
+            }
+        })
+        .collect()
+}
+
+fn parse_schedules(value: &str, demand_gbps: f64, epochs_per_phase: u32) -> Vec<DemandTimeline> {
+    value
+        .split(',')
+        .map(|v| {
+            let v = v.trim();
+            if let Some(hot) = v
+                .strip_prefix("shifthot")
+                .and_then(|n| n.parse::<u32>().ok())
+            {
+                DemandTimeline::shifting_hotspot(hot, demand_gbps, 4, epochs_per_phase, 5)
+            } else if v == "hpcmix" {
+                DemandTimeline::hpc_mix(demand_gbps, epochs_per_phase)
+            } else if v == "steady" {
+                DemandTimeline::steady(
+                    TrafficPattern::Permutation { demand_gbps },
+                    epochs_per_phase * 4,
+                )
+            } else {
+                eprintln!("energy: unknown schedule {v:?} (shifthotN|hpcmix|steady)");
+                exit(2);
+            }
+        })
+        .collect()
+}
+
+/// The Section VI-C headline grid: the paper design point under both
+/// energy modes.
+fn headline_grid(config: EnergyConfig) -> SweepGrid {
+    SweepGrid::named("energy-headline")
+        .energy_modes([EnergyMode::AlwaysOn, EnergyMode::UtilizationScaled])
+        .energy_config(config)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut grid = SweepGrid::named("energy-tradeoff").mcm_counts([32]);
+    let mut schedules = "shifthot4,hpcmix".to_string();
+    let mut policies = "static,greedy,hyst0.9".to_string();
+    let mut modes = "always,util".to_string();
+    let mut demand = 400.0;
+    let mut epochs_per_phase = 3u32;
+    let mut config = EnergyConfig::default();
+    let mut json = false;
+    let mut smoke = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut take = || {
+            i += 1;
+            args.get(i).cloned().unwrap_or_else(|| usage())
+        };
+        match flag {
+            "--mcms" => {
+                let v = take();
+                grid = grid.mcm_counts(parse_list("--mcms", &v));
+            }
+            "--fabric" => {
+                let v = take();
+                grid = grid.fabric_kinds(parse_fabric(&v));
+            }
+            "--schedule" => schedules = take(),
+            "--policy" => policies = take(),
+            "--mode" => modes = take(),
+            "--demand" => demand = parse_scalar("--demand", &take()),
+            "--epochs" => epochs_per_phase = parse_scalar("--epochs", &take()),
+            "--epoch-seconds" => {
+                config.epoch_duration_s = parse_scalar("--epoch-seconds", &take());
+            }
+            "--reconfig-joules" => {
+                config.reconfiguration_energy_j = parse_scalar("--reconfig-joules", &take());
+            }
+            "--seed" => {
+                let v: u64 = parse_scalar("--seed", &take());
+                grid = grid.base_seed(v);
+            }
+            "--json" => json = true,
+            "--smoke" => smoke = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("energy: unknown flag {other:?}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+
+    if smoke {
+        // The fixed CI grid, pinned by tests/golden/energy_smoke.json.
+        let artifact = artifacts::energy_smoke();
+        if json {
+            println!("{}", artifact.report.to_json());
+        } else {
+            print!("{}", artifact.text);
+        }
+        return;
+    }
+
+    let headline = headline_grid(config).run();
+    let grid = grid
+        .timelines(parse_schedules(&schedules, demand, epochs_per_phase))
+        .realloc_policies(parse_policies(&policies))
+        .energy_modes(parse_modes(&modes))
+        .energy_config(config);
+    let tradeoff = grid.run();
+
+    if json {
+        // One JSON document, like every other engine-backed binary: the two
+        // reports wrapped under their names.
+        println!(
+            "{{\"headline\":{},\"tradeoff\":{}}}",
+            headline.to_json(),
+            tradeoff.to_json()
+        );
+        return;
+    }
+
+    print!("{}", format_sweep_report(&headline));
+    if let Some((_, always_on)) = headline
+        .energy
+        .iter()
+        .find(|(_, e)| e.mode == EnergyMode::AlwaysOn)
+    {
+        println!(
+            "Section VI-C check: photonic power {:.1} kW, {:.1}% of compute/memory power \
+             (paper: ~11 kW, ~5%)",
+            always_on.watts() / 1000.0,
+            always_on.photonic_compute_ratio() * 100.0
+        );
+    }
+    println!();
+    print!("{}", format_sweep_report(&tradeoff));
+}

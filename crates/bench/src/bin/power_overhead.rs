@@ -1,15 +1,11 @@
 //! Regenerates the Section VI-C power analysis: ~11 kW of photonics on a
-//! ~210 kW rack, a ~5% overhead.
+//! ~210 kW rack, a ~5% overhead — computed through the sweep engine's
+//! energy layer (`core::energy`). Pass `--json` for the `SweepReport` with
+//! the full `EnergyStats` block, including the utilization-scaled
+//! counterpoint to the paper's always-on assumption.
 
-use rack::power::RackPowerModel;
+use disagg_core::sweep::artifacts;
 
 fn main() {
-    let model = RackPowerModel::paper_rack();
-    let o = model.photonic_overhead();
-    println!("Power overhead (Section VI-C)");
-    println!("  transceiver power : {:>10.1} W", o.transceiver_power_w);
-    println!("  switch power      : {:>10.1} W", o.switch_power_w);
-    println!("  photonic total    : {:>10.1} W", o.photonic_power_w);
-    println!("  baseline rack     : {:>10.1} W", o.baseline_rack_power_w);
-    println!("  overhead          : {:>10.2} %", o.overhead_percent());
+    artifacts::power_overhead().emit();
 }

@@ -13,10 +13,14 @@
 //!
 //! Patterns: `uniformN` (N flows per MCM), `permutation`, `hotspotN`
 //! (N hot destinations), `neighborN` (N neighbours per side), `alltoall`.
-//! `--demand` sets the per-flow Gbps for every listed pattern.
+//! `--demand` sets the per-flow Gbps for every listed pattern. `--energy`
+//! adds the energy-accounting axis (`always` and/or `util`), attaching
+//! per-scenario joules/watts/pJ-per-bit metrics and the report's
+//! `EnergyStats` block.
 
 use std::process::exit;
 
+use disagg_core::energy::EnergyMode;
 use disagg_core::report::format_sweep_report;
 use disagg_core::sweep::SweepGrid;
 use fabric::FabricKind;
@@ -26,7 +30,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: sweep [--mcms N,..] [--fibers N,..] [--wavelengths N,..] [--gbps X,..]\n\
          \x20            [--fabric awgr|wave|spatial,..] [--pattern P,..] [--demand GBPS]\n\
-         \x20            [--latency NS,..] [--replicates N] [--seed N] [--json]\n\
+         \x20            [--latency NS,..] [--energy always|util,..] [--replicates N]\n\
+         \x20            [--seed N] [--json]\n\
          patterns: uniformN | permutation | hotspotN | neighborN | alltoall"
     );
     exit(2);
@@ -107,6 +112,20 @@ fn parse_patterns(value: &str, demand_gbps: f64) -> Vec<TrafficPattern> {
         .collect()
 }
 
+fn parse_energy(value: &str) -> Vec<EnergyMode> {
+    value
+        .split(',')
+        .map(|v| match v.trim() {
+            "always" | "always-on" => EnergyMode::AlwaysOn,
+            "util" | "utilization" => EnergyMode::UtilizationScaled,
+            other => {
+                eprintln!("sweep: unknown energy mode {other:?} (always|util)");
+                exit(2);
+            }
+        })
+        .collect()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut grid = SweepGrid::named("sweep");
@@ -139,6 +158,7 @@ fn main() {
             "--pattern" => pattern_spec = Some(value.clone()),
             "--demand" => demand_gbps = parse_scalar::<f64>(flag, value),
             "--latency" => grid.direct_latencies_ns = parse_list(flag, value),
+            "--energy" => grid.energy_modes = parse_energy(value),
             "--replicates" => grid.replicates = parse_scalar::<u32>(flag, value).max(1),
             "--seed" => grid.base_seed = parse_scalar::<u64>(flag, value),
             _ => usage(),

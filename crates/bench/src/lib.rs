@@ -20,14 +20,16 @@
 //! | `fig10` | Fig. 10 — GPU slowdown correlations | [`disagg_core::sweep::artifacts::fig10`] |
 //! | `fig11` | Fig. 11 — CPU vs GPU on shared Rodinia | [`disagg_core::sweep::artifacts::fig11`] |
 //! | `fig12` | Fig. 12 — photonic vs best electronic | `disagg_core` experiments |
+//! | `power_overhead` | Sec. VI-C — photonic power overhead | [`disagg_core::sweep::artifacts::power_overhead`] |
 //! | `sweep` | user-defined scenario grids | [`disagg_core::sweep::SweepGrid`] |
+//! | `timeline` | temporal steering sweeps | [`disagg_core::sweep::SweepGrid::timelines`] |
+//! | `energy` | energy-aware sweeps + policy tradeoff | [`disagg_core::energy`] |
 //!
 //! Binaries with an `artifacts` route run through the `core::sweep` engine
 //! and accept `--json` to emit the unified
 //! [`SweepReport`](disagg_core::report::SweepReport) schema; the remaining
-//! analytical binaries (`ber_fec`, `power_overhead`, `bandwidth_analysis`,
-//! `iso_performance`, `calibrate`) print Section VI-A/C/D/E analyses
-//! directly.
+//! analytical binaries (`ber_fec`, `bandwidth_analysis`, `iso_performance`,
+//! `calibrate`) print Section VI-A/C/D/E analyses directly.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

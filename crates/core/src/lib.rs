@@ -22,6 +22,12 @@
 //!   temporal axis, phased demand timelines under wavelength-reallocation
 //!   policies — executed in parallel with memoized fabric builds, plus the
 //!   engine-backed paper artifacts ([`sweep::artifacts`]).
+//! * [`energy`] — per-scenario energy accounting (Section VI-C made
+//!   dynamic): always-on vs utilization-scaled transceiver energy, FEC
+//!   coding overhead, per-event wavelength-reconfiguration energy, and the
+//!   switch/laser idle floor, surfaced as the
+//!   [`EnergyStats`] block of every energy-enabled
+//!   sweep.
 //! * [`report`] — plain-text table formatting used by the bench binaries
 //!   and the JSON-able [`SweepReport`] schema every
 //!   sweep produces.
@@ -33,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod cpu_experiments;
+pub mod energy;
 pub mod gpu_experiments;
 pub mod rack_analysis;
 pub mod rack_builder;
@@ -42,6 +49,7 @@ pub mod sweep;
 pub use cpu_experiments::{
     run_cpu_experiment, summarize_by_suite, CpuBenchmarkResult, CpuExperimentConfig, SuiteSummary,
 };
+pub use energy::{EnergyConfig, EnergyMode, EnergyModel, EnergyStats};
 pub use gpu_experiments::{run_gpu_experiment, GpuBenchmarkResult, GpuExperimentConfig};
 pub use rack_analysis::RackAnalysis;
 pub use rack_builder::{DisaggregatedRack, RackSummary};

@@ -4,6 +4,7 @@
 //! report, so a reader can diff them against the paper side by side.
 
 use crate::cpu_experiments::{CpuBenchmarkResult, SuiteSummary};
+use crate::energy::EnergyStats;
 use crate::gpu_experiments::GpuBenchmarkResult;
 use crate::rack_analysis::RackAnalysis;
 use serde::{Deserialize, Serialize};
@@ -51,6 +52,11 @@ pub struct SweepReport {
     /// Report-level summary metrics (averages, correlations, totals), in
     /// declaration order.
     pub summary: Vec<(String, f64)>,
+    /// Per-scenario energy accounting (`(scenario label, stats)` pairs, in
+    /// row order). Empty — and absent from the JSON — unless the producing
+    /// grid set an energy axis
+    /// ([`SweepGrid::energy_modes`](crate::sweep::SweepGrid::energy_modes)).
+    pub energy: Vec<(String, EnergyStats)>,
 }
 
 impl SweepReport {
@@ -60,7 +66,13 @@ impl SweepReport {
             name: name.into(),
             rows: Vec::new(),
             summary: Vec::new(),
+            energy: Vec::new(),
         }
+    }
+
+    /// Look up a scenario's energy stats by row label.
+    pub fn energy_for(&self, label: &str) -> Option<&EnergyStats> {
+        self.energy.iter().find(|(l, _)| l == label).map(|(_, e)| e)
     }
 
     /// Number of scenario rows.
@@ -97,7 +109,39 @@ impl SweepReport {
             out.push(':');
             json_number(&mut out, *v);
         }
-        out.push_str("},\"rows\":[");
+        out.push('}');
+        if !self.energy.is_empty() {
+            out.push_str(",\"energy\":[");
+            for (i, (label, e)) in self.energy.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str("{\"label\":");
+                json_string(&mut out, label);
+                out.push_str(",\"mode\":");
+                json_string(&mut out, e.mode.label());
+                for (k, v) in [
+                    ("duration_s", e.duration_s),
+                    ("payload_gigabits", e.payload_gigabits),
+                    ("joules", e.total_joules()),
+                    ("watts", e.watts()),
+                    ("pj_per_bit", e.pj_per_bit()),
+                    ("photonic_compute_ratio", e.photonic_compute_ratio()),
+                    ("transceiver_j", e.transceiver_energy_j),
+                    ("fec_j", e.fec_energy_j),
+                    ("reconfiguration_j", e.reconfiguration_energy_j),
+                    ("idle_j", e.idle_energy_j),
+                ] {
+                    out.push(',');
+                    json_string(&mut out, k);
+                    out.push(':');
+                    json_number(&mut out, v);
+                }
+                out.push('}');
+            }
+            out.push(']');
+        }
+        out.push_str(",\"rows\":[");
         for (i, row) in self.rows.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -180,6 +224,23 @@ pub fn format_sweep_report(report: &SweepReport) -> String {
             out.push_str(&format!(" {k}={v:.4}"));
         }
         out.push('\n');
+    }
+    if !report.energy.is_empty() {
+        out.push_str("energy:\n");
+        for (label, e) in &report.energy {
+            out.push_str(&format!(
+                "  {label:<label_width$}  {:>12.1} J {:>10.1} W  pJ/bit={:.3}  \
+                 photonic/compute={:.2}%  (xcvr {:.1} fec {:.3} reconf {:.1} idle {:.1})\n",
+                e.total_joules(),
+                e.watts(),
+                e.pj_per_bit(),
+                e.photonic_compute_ratio() * 100.0,
+                e.transceiver_energy_j,
+                e.fec_energy_j,
+                e.reconfiguration_energy_j,
+                e.idle_energy_j,
+            ));
+        }
     }
     if !report.summary.is_empty() {
         out.push_str("summary:");
@@ -457,6 +518,34 @@ mod tests {
         let text = format_sweep_report(&r);
         assert!(text.contains("demo — 1 scenario"));
         assert!(text.contains("sat=0.2500"));
+    }
+
+    #[test]
+    fn energy_block_serializes_deterministically_with_null_for_nan() {
+        use crate::energy::EnergyMode;
+        let mut r = SweepReport::new("e");
+        r.energy.push((
+            "row".to_string(),
+            EnergyStats {
+                mode: EnergyMode::UtilizationScaled,
+                duration_s: 0.0,
+                payload_gigabits: 0.0,
+                transceiver_energy_j: 0.0,
+                fec_energy_j: 0.0,
+                reconfiguration_energy_j: 0.0,
+                idle_energy_j: 0.0,
+                compute_power_w: 0.0,
+            },
+        ));
+        let json = r.to_json();
+        assert!(json.contains("\"energy\":[{\"label\":\"row\",\"mode\":\"util\""));
+        // A zero-bit scenario has no defined pJ/bit: serialized as null.
+        assert!(json.contains("\"pj_per_bit\":null"));
+        assert_eq!(json, r.clone().to_json());
+        assert!(r.energy_for("row").is_some());
+        assert!(r.energy_for("missing").is_none());
+        let text = format_sweep_report(&r);
+        assert!(text.contains("energy:"));
     }
 
     #[test]

@@ -9,18 +9,23 @@
 //! grid-definition-plus-formatter shims over these functions.
 
 use cpusim::CoreKind;
+use fabric::ReallocationPolicy;
 use photonics::link::{EscapeSizing, LinkTechnology, LinkTechnologyKind};
 use rack::mcm::RackComposition;
 use workloads::cpu::{rodinia_cpu_gpu_intersection, CpuSuite, InputSize};
+use workloads::{DemandTimeline, TrafficPattern};
 
 use crate::cpu_experiments::{
     miss_rate_correlation, run_cpu_experiment, run_cpu_experiment_subset, CpuExperimentConfig,
 };
+use crate::energy::EnergyMode;
 use crate::gpu_experiments::{
     average_slowdown, gpu_correlations, run_gpu_experiment, GpuExperimentConfig,
 };
-use crate::report::{format_gpu_results, format_miss_rate_rows, SweepReport, SweepRow};
-use crate::sweep::parallel_map;
+use crate::report::{
+    format_gpu_results, format_miss_rate_rows, format_sweep_report, SweepReport, SweepRow,
+};
+use crate::sweep::{parallel_map, SweepGrid};
 
 /// A regenerated paper artifact: the exact text its binary prints plus the
 /// unified sweep-report schema.
@@ -375,6 +380,68 @@ pub fn table3() -> PaperArtifact {
     PaperArtifact { report, text }
 }
 
+/// Section VI-C — the per-rack photonic power overhead, computed through
+/// the sweep engine's energy layer at the paper's design point. The text is
+/// byte-identical to the pre-engine `power_overhead` binary; the report
+/// additionally carries the utilization-scaled counterpoint row.
+pub fn power_overhead() -> PaperArtifact {
+    let grid = SweepGrid::named("power_overhead")
+        .energy_modes([EnergyMode::AlwaysOn, EnergyMode::UtilizationScaled]);
+    let report = grid.run();
+    let (_, always_on) = report
+        .energy
+        .iter()
+        .find(|(_, e)| e.mode == EnergyMode::AlwaysOn)
+        .expect("always-on mode is on the energy axis");
+
+    let mut text = String::new();
+    text.push_str("Power overhead (Section VI-C)\n");
+    text.push_str(&format!(
+        "  transceiver power : {:>10.1} W\n",
+        always_on.transceiver_energy_j / always_on.duration_s
+    ));
+    text.push_str(&format!(
+        "  switch power      : {:>10.1} W\n",
+        always_on.idle_energy_j / always_on.duration_s
+    ));
+    text.push_str(&format!(
+        "  photonic total    : {:>10.1} W\n",
+        always_on.watts()
+    ));
+    text.push_str(&format!(
+        "  baseline rack     : {:>10.1} W\n",
+        always_on.compute_power_w
+    ));
+    text.push_str(&format!(
+        "  overhead          : {:>10.2} %\n",
+        always_on.photonic_compute_ratio() * 100.0
+    ));
+    PaperArtifact { report, text }
+}
+
+/// The `energy --smoke` grid: a small fixed energy-aware sweep (two PR 3
+/// timelines x three reallocation policies x both energy modes on a 16-MCM
+/// rack) that CI runs end to end and the golden tests pin as JSON.
+pub fn energy_smoke() -> PaperArtifact {
+    let grid = SweepGrid::named("energy_smoke")
+        .mcm_counts([16])
+        .timelines([
+            DemandTimeline::shifting_hotspot(2, 400.0, 4, 2, 5),
+            DemandTimeline::steady(TrafficPattern::Permutation { demand_gbps: 200.0 }, 4),
+        ])
+        .realloc_policies([
+            ReallocationPolicy::Static,
+            ReallocationPolicy::GreedyResteer,
+            ReallocationPolicy::Hysteresis {
+                min_satisfaction: 0.9,
+            },
+        ])
+        .energy_modes([EnergyMode::AlwaysOn, EnergyMode::UtilizationScaled]);
+    let report = grid.run();
+    let text = format_sweep_report(&report);
+    PaperArtifact { report, text }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -398,6 +465,35 @@ mod tests {
         assert_eq!(a.report.summary_metric("total_mcms"), Some(350.0));
         assert!(a.text.contains("Total MCMs: 350"));
         assert!(!a.report.rows.is_empty());
+    }
+
+    #[test]
+    fn power_overhead_artifact_reproduces_section_vi_c() {
+        let a = power_overhead();
+        assert_eq!(a.report.energy.len(), 2);
+        let (_, always_on) = &a.report.energy[0];
+        assert_eq!(always_on.mode, EnergyMode::AlwaysOn);
+        // ~10-11 kW of photonics at ~5% of the compute baseline.
+        assert!(always_on.watts() > 9_500.0 && always_on.watts() < 11_500.0);
+        let pct = always_on.photonic_compute_ratio() * 100.0;
+        assert!(pct > 4.0 && pct < 6.0, "overhead {pct}%");
+        // The text is the pre-engine binary's output, byte for byte.
+        assert!(a.text.starts_with("Power overhead (Section VI-C)\n"));
+        assert!(a.text.contains("transceiver power :     8960.0 W"));
+        assert!(a.text.contains("switch power      :     1000.0 W"));
+        assert!(a.text.contains("photonic total    :     9960.0 W"));
+        assert!(a.text.contains("baseline rack     :   210176.0 W"));
+        assert!(a.text.contains("overhead          :       4.74 %"));
+        assert_eq!(a.report.to_json(), power_overhead().report.to_json());
+    }
+
+    #[test]
+    fn energy_smoke_artifact_covers_both_modes_and_all_policies() {
+        let a = energy_smoke();
+        assert_eq!(a.report.rows.len(), 2 * 3 * 2);
+        assert_eq!(a.report.energy.len(), a.report.rows.len());
+        assert!(a.text.contains("energy:"));
+        assert_eq!(a.report.to_json(), energy_smoke().report.to_json());
     }
 
     #[test]

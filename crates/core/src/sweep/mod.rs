@@ -18,6 +18,11 @@
 //!   or — when [`SweepGrid::timelines`] is set — phased
 //!   [`DemandTimeline`]s executed per epoch by `fabric`'s
 //!   [`TimelineSimulator`] under each swept [`ReallocationPolicy`].
+//! * [`SweepGrid::energy_modes`] — the optional energy axis: each scenario
+//!   is additionally accounted by `core::energy` under always-on and/or
+//!   utilization-scaled transceiver assumptions, adding energy metrics to
+//!   every row and an `EnergyStats` block to the report. Energy modes never
+//!   perturb the scenario seed.
 //! * [`SweepGrid::run`] — parallel execution via rayon with memoized fabric
 //!   construction (scenarios that share a topology share one built
 //!   [`RackFabric`]), producing the unified [`SweepReport`] schema.
@@ -40,6 +45,7 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use workloads::{DemandTimeline, TrafficPattern};
 
+use crate::energy::{EnergyConfig, EnergyMode, EnergyModel, EnergyStats};
 use crate::report::{SweepReport, SweepRow};
 
 pub mod artifacts;
@@ -116,6 +122,15 @@ pub struct SweepGrid {
     pub realloc_policies: Vec<ReallocationPolicy>,
     /// One-way direct fabric latencies in nanoseconds.
     pub direct_latencies_ns: Vec<f64>,
+    /// Energy-accounting modes to sweep (always-on vs utilization-scaled
+    /// transceivers). Empty (the default) disables energy accounting
+    /// entirely: no extra scenarios, no energy metrics, and no `energy`
+    /// block in the report.
+    pub energy_modes: Vec<EnergyMode>,
+    /// Knobs of the energy layer shared by every scenario (pJ/bit, per-MCM
+    /// switch and compute power floors, epoch duration, per-event
+    /// reconfiguration energy). Only read when `energy_modes` is non-empty.
+    pub energy_config: EnergyConfig,
     /// Replicates per grid point (each gets an independent derived seed).
     pub replicates: u32,
     /// Base seed all per-scenario seeds are derived from.
@@ -141,6 +156,8 @@ impl Default for SweepGrid {
             timelines: Vec::new(),
             realloc_policies: vec![ReallocationPolicy::GreedyResteer],
             direct_latencies_ns: vec![35.0],
+            energy_modes: Vec::new(),
+            energy_config: EnergyConfig::default(),
             replicates: 1,
             base_seed: 0xD15A66,
             indirect_hop_latency_ns: 8.0,
@@ -222,6 +239,40 @@ impl SweepGrid {
         self
     }
 
+    /// Set the energy-accounting axis. Energy modes are excluded from the
+    /// per-scenario seed (they never change the offered traffic), so both
+    /// modes of a grid point are accounted against the identical demand.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use disagg_core::energy::EnergyMode;
+    /// use disagg_core::sweep::SweepGrid;
+    ///
+    /// let report = SweepGrid::named("e")
+    ///     .mcm_counts([16])
+    ///     .energy_modes([EnergyMode::AlwaysOn, EnergyMode::UtilizationScaled])
+    ///     .run();
+    /// assert_eq!(report.rows.len(), 2);
+    /// assert_eq!(report.energy.len(), 2);
+    /// // Always-on transceivers never draw less than utilization-scaled.
+    /// assert!(
+    ///     report.rows[0].metric("energy_j").unwrap()
+    ///         >= report.rows[1].metric("energy_j").unwrap()
+    /// );
+    /// ```
+    pub fn energy_modes(mut self, modes: impl IntoIterator<Item = EnergyMode>) -> Self {
+        self.energy_modes = modes.into_iter().collect();
+        self
+    }
+
+    /// Override the energy layer's shared knobs (pJ/bit, floors, epoch
+    /// duration, reconfiguration energy).
+    pub fn energy_config(mut self, config: EnergyConfig) -> Self {
+        self.energy_config = config;
+        self
+    }
+
     /// Set the number of replicates per grid point.
     pub fn replicates(mut self, replicates: u32) -> Self {
         self.replicates = replicates.max(1);
@@ -273,13 +324,25 @@ impl SweepGrid {
             * self.fec_configs.len()
             * loads
             * self.direct_latencies_ns.len()
+            * self.energy_modes.len().max(1)
             * self.replicates.max(1) as usize
+    }
+
+    /// The energy axis as expanded: `[None]` (accounting off) when no modes
+    /// are set, otherwise one `Some` per configured mode.
+    fn energy_axis(&self) -> Vec<Option<EnergyMode>> {
+        if self.energy_modes.is_empty() {
+            vec![None]
+        } else {
+            self.energy_modes.iter().copied().map(Some).collect()
+        }
     }
 
     /// Expand the grid into concrete scenarios, in axis-declaration order
     /// (fabric kind outermost, replicate innermost).
     pub fn expand(&self) -> Vec<Scenario> {
         let loads = self.loads();
+        let energy_axis = self.energy_axis();
         let mut scenarios = Vec::with_capacity(self.scenario_count());
         for &kind in &self.fabric_kinds {
             for &mcm_count in &self.mcm_counts {
@@ -289,30 +352,33 @@ impl SweepGrid {
                             for &fec in &self.fec_configs {
                                 for load in &loads {
                                     for &latency in &self.direct_latencies_ns {
-                                        for replicate in 0..self.replicates.max(1) {
-                                            let fabric = RackFabricConfig {
-                                                mcm_count,
-                                                fibers_per_mcm: fibers,
-                                                wavelengths_per_fiber: wavelengths,
-                                                gbps_per_wavelength: gbps
-                                                    * (1.0 - fec.bandwidth_overhead),
-                                                kind,
-                                            };
-                                            let seed = scenario_seed(
-                                                self.base_seed,
-                                                mcm_count,
-                                                load,
-                                                replicate,
-                                            );
-                                            scenarios.push(Scenario {
-                                                index: scenarios.len(),
-                                                fabric,
-                                                fec,
-                                                load: load.clone(),
-                                                direct_latency_ns: latency,
-                                                replicate,
-                                                seed,
-                                            });
+                                        for &energy_mode in &energy_axis {
+                                            for replicate in 0..self.replicates.max(1) {
+                                                let fabric = RackFabricConfig {
+                                                    mcm_count,
+                                                    fibers_per_mcm: fibers,
+                                                    wavelengths_per_fiber: wavelengths,
+                                                    gbps_per_wavelength: gbps
+                                                        * (1.0 - fec.bandwidth_overhead),
+                                                    kind,
+                                                };
+                                                let seed = scenario_seed(
+                                                    self.base_seed,
+                                                    mcm_count,
+                                                    load,
+                                                    replicate,
+                                                );
+                                                scenarios.push(Scenario {
+                                                    index: scenarios.len(),
+                                                    fabric,
+                                                    fec,
+                                                    load: load.clone(),
+                                                    direct_latency_ns: latency,
+                                                    energy_mode,
+                                                    replicate,
+                                                    seed,
+                                                });
+                                            }
                                         }
                                     }
                                 }
@@ -341,19 +407,24 @@ impl SweepGrid {
         let scenarios = self.expand();
         let cache = FabricCache::build(&scenarios, parallel);
         let hop = self.indirect_hop_latency_ns;
+        let energy_config = self.energy_config;
         let results: Vec<ScenarioResult> = if parallel {
             scenarios
                 .par_iter()
-                .map(|s| run_scenario(s, &cache, hop))
+                .map(|s| run_scenario(s, &cache, hop, &energy_config))
                 .collect()
         } else {
             scenarios
                 .iter()
-                .map(|s| run_scenario(s, &cache, hop))
+                .map(|s| run_scenario(s, &cache, hop, &energy_config))
                 .collect()
         };
         let mut report = SweepReport::new(self.name.clone());
         report.rows = results.iter().map(ScenarioResult::to_row).collect();
+        report.energy = results
+            .iter()
+            .filter_map(|r| r.energy.map(|e| (r.scenario.label(), e)))
+            .collect();
         let n = results.len();
         if n > 0 {
             let mean_sat = results.iter().map(|r| r.satisfaction).sum::<f64>() / n as f64;
@@ -369,6 +440,13 @@ impl SweepGrid {
                 ("min_satisfaction".to_string(), min_sat),
                 ("mean_latency_ns".to_string(), mean_lat),
             ];
+            if !report.energy.is_empty() {
+                let total_j: f64 = report.energy.iter().map(|(_, e)| e.total_joules()).sum();
+                let mean_w = report.energy.iter().map(|(_, e)| e.watts()).sum::<f64>()
+                    / report.energy.len() as f64;
+                report.summary.push(("total_energy_j".to_string(), total_j));
+                report.summary.push(("mean_power_w".to_string(), mean_w));
+            }
         }
         report
     }
@@ -421,6 +499,9 @@ pub struct Scenario {
     pub load: ScenarioLoad,
     /// One-way direct fabric latency (ns).
     pub direct_latency_ns: f64,
+    /// Energy-accounting mode, `None` when the grid's energy axis is unset.
+    /// Excluded from the scenario seed: both modes see identical demand.
+    pub energy_mode: Option<EnergyMode>,
     /// Replicate number within the grid point.
     pub replicate: u32,
     /// Deterministic seed derived from the traffic-defining parameters
@@ -436,7 +517,7 @@ impl Scenario {
     /// differ only in fields other than `bandwidth_overhead` execute
     /// identically and share a label.)
     pub fn label(&self) -> String {
-        format!(
+        let mut label = format!(
             "{}-n{}-f{}w{}g{}-{}-l{}-r{}",
             fabric_kind_label(self.fabric.kind),
             self.fabric.mcm_count,
@@ -446,7 +527,12 @@ impl Scenario {
             self.load.label(),
             self.direct_latency_ns,
             self.replicate
-        )
+        );
+        if let Some(mode) = self.energy_mode {
+            label.push('-');
+            label.push_str(mode.label());
+        }
+        label
     }
 
     /// The scenario's input parameters as display pairs for report rows.
@@ -475,6 +561,9 @@ impl Scenario {
                 params.push(("policy".into(), tc.policy.label()));
                 params.push(("epochs".into(), tc.timeline.total_epochs().to_string()));
             }
+        }
+        if let Some(mode) = self.energy_mode {
+            params.push(("energy".into(), mode.label().into()));
         }
         params.extend([
             ("latency_ns".into(), format!("{}", self.direct_latency_ns)),
@@ -521,6 +610,8 @@ pub struct ScenarioResult {
     /// Wavelength reconfigurations performed after the initial assignment
     /// (always 0 for static pattern scenarios).
     pub reconfigurations: usize,
+    /// Energy accounting, present iff the scenario carries an energy mode.
+    pub energy: Option<EnergyStats>,
 }
 
 impl ScenarioResult {
@@ -547,6 +638,19 @@ impl ScenarioResult {
         if matches!(self.scenario.load, ScenarioLoad::Timeline(_)) {
             metrics.push(("epochs".to_string(), self.epochs as f64));
             metrics.push(("reconfigurations".to_string(), self.reconfigurations as f64));
+        }
+        if let Some(e) = &self.energy {
+            metrics.push(("energy_j".to_string(), e.total_joules()));
+            metrics.push(("mean_power_w".to_string(), e.watts()));
+            metrics.push(("pj_per_bit".to_string(), e.pj_per_bit()));
+            metrics.push((
+                "photonic_compute_ratio".to_string(),
+                e.photonic_compute_ratio(),
+            ));
+            metrics.push((
+                "reconfiguration_energy_j".to_string(),
+                e.reconfiguration_energy_j,
+            ));
         }
         SweepRow {
             label: self.scenario.label(),
@@ -610,7 +714,12 @@ impl FabricCache {
     }
 }
 
-fn run_scenario(scenario: &Scenario, cache: &FabricCache, indirect_hop_ns: f64) -> ScenarioResult {
+fn run_scenario(
+    scenario: &Scenario,
+    cache: &FabricCache,
+    indirect_hop_ns: f64,
+    energy_config: &EnergyConfig,
+) -> ScenarioResult {
     let fabric = cache.get(&scenario.fabric);
     let flow_config = FlowSimConfig {
         direct_latency_ns: scenario.direct_latency_ns,
@@ -619,6 +728,9 @@ fn run_scenario(scenario: &Scenario, cache: &FabricCache, indirect_hop_ns: f64) 
         // generator while staying a pure function of the scenario seed.
         seed: scenario.seed ^ 0x9E37_79B9_7F4A_7C15,
     };
+    let energy_model = scenario
+        .energy_mode
+        .map(|mode| EnergyModel::new(mode, *energy_config, &scenario.fabric, &scenario.fec));
     match &scenario.load {
         ScenarioLoad::Pattern(pattern) => {
             let flows = pattern.flows(scenario.fabric.mcm_count, scenario.seed);
@@ -635,6 +747,7 @@ fn run_scenario(scenario: &Scenario, cache: &FabricCache, indirect_hop_ns: f64) 
                 mean_latency_ns: report.mean_latency_ns,
                 epochs: 1,
                 reconfigurations: 0,
+                energy: energy_model.map(|m| m.account_flows(&report)),
             }
         }
         ScenarioLoad::Timeline(tc) => {
@@ -661,6 +774,7 @@ fn run_scenario(scenario: &Scenario, cache: &FabricCache, indirect_hop_ns: f64) 
                 mean_latency_ns: report.mean_latency_ns,
                 epochs: report.epochs.len(),
                 reconfigurations: report.reconfigurations,
+                energy: energy_model.map(|m| m.account_timeline(&report)),
             }
         }
     }
@@ -957,6 +1071,87 @@ mod tests {
         let grid = timeline_grid().realloc_policies([]);
         assert_eq!(grid.scenario_count(), 0);
         assert!(grid.run().rows.is_empty());
+    }
+
+    #[test]
+    fn energy_axis_multiplies_scenarios_and_fills_the_energy_block() {
+        let grid = small_grid().energy_modes([EnergyMode::AlwaysOn, EnergyMode::UtilizationScaled]);
+        assert_eq!(grid.scenario_count(), 2 * 2 * 2 * 2);
+        let report = grid.run();
+        assert_eq!(report.rows.len(), 16);
+        assert_eq!(report.energy.len(), 16);
+        for (row, (label, e)) in report.rows.iter().zip(&report.energy) {
+            assert_eq!(&row.label, label);
+            assert_eq!(row.metric("energy_j"), Some(e.total_joules()));
+            assert!(e.total_joules() > 0.0);
+        }
+        assert!(report.summary_metric("total_energy_j").unwrap() > 0.0);
+        // The block is serialized, and identically so across runs.
+        let json = report.to_json();
+        assert!(json.contains("\"energy\":["));
+        assert_eq!(json, grid.run_serial().to_json());
+    }
+
+    #[test]
+    fn energy_modes_share_the_scenario_seed_and_demand() {
+        let grid = SweepGrid::named("e")
+            .mcm_counts([16])
+            .patterns([TrafficPattern::Uniform {
+                flows_per_mcm: 4,
+                demand_gbps: 300.0,
+            }])
+            .energy_modes([EnergyMode::AlwaysOn, EnergyMode::UtilizationScaled]);
+        let scenarios = grid.expand();
+        assert_eq!(scenarios.len(), 2);
+        assert_eq!(scenarios[0].seed, scenarios[1].seed);
+        assert_ne!(scenarios[0].label(), scenarios[1].label());
+        let report = grid.run();
+        assert_eq!(
+            report.rows[0].metric("offered_gbps"),
+            report.rows[1].metric("offered_gbps")
+        );
+        // Always-on can never draw less than utilization-scaled.
+        assert!(
+            report.rows[0].metric("energy_j").unwrap()
+                >= report.rows[1].metric("energy_j").unwrap()
+        );
+    }
+
+    #[test]
+    fn no_energy_axis_means_no_energy_metrics_or_block() {
+        let report = small_grid().run();
+        assert!(report.energy.is_empty());
+        assert!(!report.to_json().contains("\"energy\""));
+        for row in &report.rows {
+            assert_eq!(row.metric("energy_j"), None);
+        }
+        assert_eq!(report.summary_metric("total_energy_j"), None);
+    }
+
+    #[test]
+    fn timeline_energy_charges_reconfigurations() {
+        let grid = SweepGrid::named("te")
+            .mcm_counts([16])
+            .timelines([DemandTimeline::shifting_hotspot(2, 400.0, 4, 2, 5)])
+            .realloc_policies([
+                ReallocationPolicy::Static,
+                ReallocationPolicy::GreedyResteer,
+            ])
+            .energy_modes([EnergyMode::UtilizationScaled]);
+        let report = grid.run();
+        assert_eq!(report.rows.len(), 2);
+        let fixed = &report.rows[0];
+        let greedy = &report.rows[1];
+        assert_eq!(fixed.metric("reconfiguration_energy_j"), Some(0.0));
+        let greedy_reconf_j = greedy.metric("reconfiguration_energy_j").unwrap();
+        assert!(greedy_reconf_j > 0.0);
+        assert!(
+            (greedy_reconf_j
+                - greedy.metric("reconfigurations").unwrap()
+                    * EnergyConfig::default().reconfiguration_energy_j)
+                .abs()
+                < 1e-9
+        );
     }
 
     #[test]

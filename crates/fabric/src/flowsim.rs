@@ -120,6 +120,16 @@ pub struct FlowSimReport {
     pub offered_gbps: f64,
     /// Total satisfied (Gbps).
     pub satisfied_gbps: f64,
+    /// Satisfied bandwidth carried over direct fabric wavelengths (Gbps).
+    /// Excludes MCM-local self-flows, which never touch the fabric, so
+    /// `fabric_direct_gbps + fabric_indirect_gbps` can be less than
+    /// `satisfied_gbps`. The energy layer charges transceiver energy on
+    /// exactly these fabric-crossing bits.
+    pub fabric_direct_gbps: f64,
+    /// Satisfied bandwidth carried over two-hop indirect paths (Gbps). Each
+    /// indirect bit traverses two fabric links, which the energy layer
+    /// charges at twice the per-bit transceiver energy.
+    pub fabric_indirect_gbps: f64,
     /// Fraction of flows fully satisfied by direct wavelengths alone.
     pub direct_only_fraction: f64,
     /// Fraction of flows that needed indirect routing.
@@ -275,6 +285,10 @@ impl<'a> FlowSimulator<'a> {
     fn summarize(&self, allocations: Vec<FlowAllocation>) -> FlowSimReport {
         let offered: f64 = allocations.iter().map(|a| a.flow.demand_gbps).sum();
         let satisfied: f64 = allocations.iter().map(|a| a.satisfied_gbps()).sum();
+        // Fabric-crossing traffic only: self-flows are served MCM-locally.
+        let crossing = || allocations.iter().filter(|a| a.flow.src != a.flow.dst);
+        let fabric_direct: f64 = crossing().map(|a| a.direct_gbps).sum();
+        let fabric_indirect: f64 = crossing().map(|a| a.indirect_gbps).sum();
         let n = allocations.len().max(1) as f64;
         let direct_only = allocations
             .iter()
@@ -300,6 +314,8 @@ impl<'a> FlowSimulator<'a> {
             allocations,
             offered_gbps: offered,
             satisfied_gbps: satisfied,
+            fabric_direct_gbps: fabric_direct,
+            fabric_indirect_gbps: fabric_indirect,
             direct_only_fraction: direct_only,
             indirect_fraction: indirect,
             unsatisfied_fraction: unsatisfied,
@@ -423,6 +439,36 @@ mod tests {
         let sim = FlowSimulator::new(&fabric, FlowSimConfig::default());
         let report = sim.run(&[Flow::new(0, 0, 100.0), Flow::new(1, 2, 0.0)]);
         assert!((report.satisfaction() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fabric_aggregates_exclude_local_traffic() {
+        let fabric = awgr_fabric(16);
+        let sim = FlowSimulator::new(&fabric, FlowSimConfig::default());
+        // One self-flow (served locally), one direct-only flow, one flow
+        // large enough to need indirect help.
+        let report = sim.run(&[
+            Flow::new(3, 3, 200.0),
+            Flow::new(0, 1, 100.0),
+            Flow::new(4, 5, 1000.0),
+        ]);
+        assert!((report.satisfaction() - 1.0).abs() < 1e-9);
+        // Local traffic is satisfied but not carried by the fabric.
+        assert!(
+            (report.fabric_direct_gbps + report.fabric_indirect_gbps
+                - (report.satisfied_gbps - 200.0))
+                .abs()
+                < 1e-9
+        );
+        assert!(report.fabric_indirect_gbps > 0.0);
+        // Per-flow direct/indirect splits sum to the aggregates.
+        let direct: f64 = report
+            .allocations
+            .iter()
+            .filter(|a| a.flow.src != a.flow.dst)
+            .map(|a| a.direct_gbps)
+            .sum();
+        assert!((report.fabric_direct_gbps - direct).abs() < 1e-9);
     }
 
     #[test]

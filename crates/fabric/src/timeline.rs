@@ -92,6 +92,14 @@ pub struct EpochResult {
     pub offered_gbps: f64,
     /// Total satisfied demand (Gbps).
     pub satisfied_gbps: f64,
+    /// Satisfied bandwidth served from the assignment's direct-wavelength
+    /// grants (Gbps). Excludes MCM-local self-flows, which never cross the
+    /// fabric.
+    pub fabric_direct_gbps: f64,
+    /// Satisfied bandwidth served from two-hop indirect grants (Gbps); each
+    /// such bit traverses two fabric links, which energy accounting charges
+    /// at twice the per-bit transceiver energy.
+    pub fabric_indirect_gbps: f64,
     /// Satisfied-weighted mean latency (ns); zero if nothing was satisfied.
     pub mean_latency_ns: f64,
     /// Fraction of flows fully served without indirect capacity.
@@ -126,6 +134,12 @@ pub struct TimelineReport {
     pub offered_gbps: f64,
     /// Total satisfied demand across all epochs (Gbps).
     pub satisfied_gbps: f64,
+    /// Total satisfied demand carried over direct grants across all epochs
+    /// (Gbps, fabric-crossing traffic only).
+    pub fabric_direct_gbps: f64,
+    /// Total satisfied demand carried over indirect two-hop grants across
+    /// all epochs (Gbps, fabric-crossing traffic only).
+    pub fabric_indirect_gbps: f64,
     /// Satisfied-weighted mean latency across all epochs (ns).
     pub mean_latency_ns: f64,
     /// Number of wavelength reconfigurations after the initial assignment.
@@ -340,6 +354,8 @@ impl<'a> TimelineSimulator<'a> {
 
         let mut offered = 0.0;
         let mut satisfied = 0.0;
+        let mut fabric_direct = 0.0;
+        let mut fabric_indirect = 0.0;
         let mut weighted_latency = 0.0;
         let mut direct_only = 0usize;
         let mut indirect = 0usize;
@@ -362,10 +378,14 @@ impl<'a> TimelineSimulator<'a> {
                 .copied()
                 .unwrap_or_default();
             let served_p = demand_p.min(grant.total_gbps());
-            // This flow's proportional share of the pair's service.
+            // This flow's proportional share of the pair's service. Direct
+            // grants serve first; only the remainder rides indirect hops.
             let share = f.demand_gbps / demand_p;
             let served = served_p * share;
+            let direct_served = served_p.min(grant.direct_gbps) * share;
             satisfied += served;
+            fabric_direct += direct_served;
+            fabric_indirect += served - direct_served;
             weighted_latency += served * grant.latency_ns;
             let fully = demand_p <= grant.total_gbps() + 1e-9;
             let used_indirect = served_p > grant.direct_gbps + 1e-9;
@@ -385,6 +405,8 @@ impl<'a> TimelineSimulator<'a> {
             flows: flows.len(),
             offered_gbps: offered,
             satisfied_gbps: satisfied,
+            fabric_direct_gbps: fabric_direct,
+            fabric_indirect_gbps: fabric_indirect,
             mean_latency_ns: if satisfied > 0.0 {
                 weighted_latency / satisfied
             } else {
@@ -421,6 +443,8 @@ fn summarize(epochs: Vec<EpochResult>) -> TimelineReport {
     TimelineReport {
         offered_gbps: offered,
         satisfied_gbps: satisfied,
+        fabric_direct_gbps: epochs.iter().map(|e| e.fabric_direct_gbps).sum(),
+        fabric_indirect_gbps: epochs.iter().map(|e| e.fabric_indirect_gbps).sum(),
         mean_latency_ns: if satisfied > 0.0 {
             weighted_latency / satisfied
         } else {
@@ -552,6 +576,33 @@ mod tests {
         );
         assert_eq!(never.reconfigurations, 0);
         assert!((never.satisfaction() - fixed.satisfaction()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fabric_direct_indirect_split_matches_flow_simulator_on_greedy_epochs() {
+        let fabric = awgr_fabric(16);
+        let epochs = hotspot_epochs(16, &[1, 9], 400.0);
+        let report = run(&fabric, ReallocationPolicy::GreedyResteer, &epochs);
+        for (e, matrix) in report.epochs.iter().zip(&epochs) {
+            let direct = FlowSimulator::new(
+                &fabric,
+                FlowSimConfig {
+                    seed: FlowSimConfig::default()
+                        .seed
+                        .wrapping_add((e.epoch as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                    ..FlowSimConfig::default()
+                },
+            )
+            .run(matrix);
+            assert!((e.fabric_direct_gbps - direct.fabric_direct_gbps).abs() < 1e-6);
+            assert!((e.fabric_indirect_gbps - direct.fabric_indirect_gbps).abs() < 1e-6);
+            // No self-flows in these matrices: the split covers everything.
+            assert!(
+                (e.fabric_direct_gbps + e.fabric_indirect_gbps - e.satisfied_gbps).abs() < 1e-6
+            );
+        }
+        let direct_sum: f64 = report.epochs.iter().map(|e| e.fabric_direct_gbps).sum();
+        assert!((report.fabric_direct_gbps - direct_sum).abs() < 1e-9);
     }
 
     #[test]

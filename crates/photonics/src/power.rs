@@ -30,6 +30,13 @@ pub struct PhotonicPowerModel {
     /// pessimistic assumption); if false, power scales with `utilization`.
     pub always_on: bool,
     /// Average link utilization used when `always_on` is false.
+    ///
+    /// Stored as given; every power computation reads it through
+    /// [`effective_utilization`](PhotonicPowerModel::effective_utilization),
+    /// which sanitizes degenerate values the same way `FlowSimulator`
+    /// sanitizes degenerate demands: non-finite utilization becomes `0.0`
+    /// (an unmeasurable link draws no traffic-proportional power) and finite
+    /// values are clamped to `[0, 1]`.
     pub utilization: f64,
 }
 
@@ -47,6 +54,46 @@ impl PhotonicPowerModel {
         }
     }
 
+    /// The same model in utilization-scaled mode: transceiver power follows
+    /// the offered traffic instead of the pessimistic always-on assumption.
+    ///
+    /// The given utilization is stored verbatim and sanitized on read by
+    /// [`effective_utilization`](PhotonicPowerModel::effective_utilization).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use photonics::power::PhotonicPowerModel;
+    ///
+    /// let always_on = PhotonicPowerModel::paper_rack();
+    /// let quarter = always_on.utilization_scaled(0.25);
+    /// // A quarter-utilized rack draws a quarter of the transceiver power.
+    /// let ratio = quarter.transceiver_power_w() / always_on.transceiver_power_w();
+    /// assert!((ratio - 0.25).abs() < 1e-9);
+    ///
+    /// // Degenerate utilization is sanitized, never propagated as NaN.
+    /// let broken = always_on.utilization_scaled(f64::NAN);
+    /// assert_eq!(broken.transceiver_power_w(), 0.0);
+    /// ```
+    pub fn utilization_scaled(mut self, utilization: f64) -> Self {
+        self.always_on = false;
+        self.utilization = utilization;
+        self
+    }
+
+    /// The sanitized value of [`utilization`](PhotonicPowerModel::utilization)
+    /// used by every power computation: non-finite values (NaN, ±infinity)
+    /// become `0.0`, finite values are clamped to `[0, 1]`. This mirrors the
+    /// `FlowSimulator` demand contract, so a degenerate measurement can never
+    /// produce a NaN or negative watt figure downstream.
+    pub fn effective_utilization(&self) -> f64 {
+        if self.utilization.is_finite() {
+            self.utilization.clamp(0.0, 1.0)
+        } else {
+            0.0
+        }
+    }
+
     /// Escape bandwidth of one MCM.
     pub fn escape_per_mcm(&self) -> Bandwidth {
         self.channel_rate * self.wavelengths_per_mcm as f64
@@ -57,12 +104,14 @@ impl PhotonicPowerModel {
         self.escape_per_mcm() * self.mcm_count as f64
     }
 
-    /// Power drawn by all transceivers (watts).
+    /// Power drawn by all transceivers (watts). In utilization-scaled mode
+    /// the utilization is sanitized via
+    /// [`effective_utilization`](PhotonicPowerModel::effective_utilization).
     pub fn transceiver_power_w(&self) -> f64 {
         let active = if self.always_on {
             1.0
         } else {
-            self.utilization
+            self.effective_utilization()
         };
         self.transceiver_energy_per_bit
             .power_at(self.rack_escape_bandwidth())
@@ -163,6 +212,29 @@ mod tests {
         let mut m = PhotonicPowerModel::paper_rack();
         m.utilization = 0.1;
         assert!((m.transceiver_power_w() - 8960.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn degenerate_utilization_is_sanitized() {
+        let m = PhotonicPowerModel::paper_rack();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let broken = m.utilization_scaled(bad);
+            assert_eq!(broken.effective_utilization(), 0.0);
+            assert_eq!(broken.transceiver_power_w(), 0.0);
+            assert!(broken.total_power_w().is_finite());
+        }
+        assert_eq!(m.utilization_scaled(-0.5).effective_utilization(), 0.0);
+        assert_eq!(m.utilization_scaled(1.5).effective_utilization(), 1.0);
+        // Over-unity utilization caps at the always-on power.
+        let capped = m.utilization_scaled(7.0);
+        assert!((capped.transceiver_power_w() - m.transceiver_power_w()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_scaled_builder_disables_always_on() {
+        let m = PhotonicPowerModel::paper_rack().utilization_scaled(0.5);
+        assert!(!m.always_on);
+        assert!((m.transceiver_power_w() - 4480.0).abs() < 1.0);
     }
 
     #[test]

@@ -52,6 +52,29 @@ impl RackPowerModel {
         self.photonics
             .rack_overhead(self.paper_comparison_power_w())
     }
+
+    /// The paper's comparison (CPU + GPU + DDR4) power divided evenly over
+    /// the rack's MCMs, in watts per MCM. The sweep engine's energy layer
+    /// multiplies this back by a scenario's MCM count so that the
+    /// photonic-to-compute power ratio stays meaningful on racks smaller or
+    /// larger than the paper's 350-MCM design point.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use rack::power::RackPowerModel;
+    ///
+    /// let m = RackPowerModel::paper_rack();
+    /// // 210.2 kW over 350 MCMs ≈ 600.5 W per MCM.
+    /// let per_mcm = m.paper_comparison_power_per_mcm_w();
+    /// assert!((per_mcm - 600.5).abs() < 0.1);
+    /// assert!(
+    ///     (per_mcm * m.photonics.mcm_count as f64 - m.paper_comparison_power_w()).abs() < 1e-6
+    /// );
+    /// ```
+    pub fn paper_comparison_power_per_mcm_w(&self) -> f64 {
+        self.paper_comparison_power_w() / self.photonics.mcm_count as f64
+    }
 }
 
 #[cfg(test)]

@@ -207,6 +207,31 @@ impl DemandTimeline {
         out
     }
 
+    /// Total demand the timeline offers across all epochs (Gbps, summed per
+    /// epoch), after the flow simulator's demand sanitization — the
+    /// denominator of the energy layer's energy-per-offered-bit figures and
+    /// the offered-load context line of the `energy` binary.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use workloads::{DemandTimeline, TrafficPattern};
+    ///
+    /// let tl = DemandTimeline::steady(
+    ///     TrafficPattern::Permutation { demand_gbps: 100.0 },
+    ///     3,
+    /// );
+    /// // A 16-MCM permutation offers 16 x 100 Gbps per epoch, 3 epochs.
+    /// assert!((tl.total_offered_gbps(16, 7) - 3.0 * 16.0 * 100.0).abs() < 1e-9);
+    /// ```
+    pub fn total_offered_gbps(&self, mcm_count: u32, seed: u64) -> f64 {
+        self.epoch_matrices(mcm_count, seed)
+            .iter()
+            .flat_map(|m| m.iter())
+            .map(|f| f.sanitized().demand_gbps)
+            .sum()
+    }
+
     /// A stable label covering every demand-defining parameter of the
     /// timeline (phase patterns, durations, scales, rotations). Used by the
     /// sweep engine's seed derivation, so two timelines that offer the same

@@ -81,6 +81,19 @@ fn table1_json_matches_golden() {
 }
 
 #[test]
+fn power_overhead_json_matches_golden() {
+    check(
+        "power_overhead",
+        artifacts::power_overhead().report.to_json(),
+    );
+}
+
+#[test]
+fn energy_smoke_json_matches_golden() {
+    check("energy_smoke", artifacts::energy_smoke().report.to_json());
+}
+
+#[test]
 fn table3_json_matches_golden() {
     check("table3", artifacts::table3().report.to_json());
 }

@@ -1,8 +1,12 @@
 //! Property-based integration tests on cross-crate invariants: the AWGR
 //! all-to-all property at arbitrary sizes, conservation of wavelength
 //! capacity in the flow simulator, monotonicity of the CPU and GPU timing
-//! models in the added latency, and MCM packing preserving escape bandwidth.
+//! models in the added latency, monotonicity and boundedness of
+//! utilization-scaled energy in the offered load, and MCM packing
+//! preserving escape bandwidth.
 
+use photonic_disagg::core::energy::EnergyMode;
+use photonic_disagg::core::sweep::SweepGrid;
 use photonic_disagg::cpusim::{CoreKind, CpuConfig, Simulator};
 use photonic_disagg::fabric::awgr::Awgr;
 use photonic_disagg::fabric::flowsim::{Flow, FlowSimConfig, FlowSimulator};
@@ -14,6 +18,7 @@ use photonic_disagg::rack::chips::{ChipKind, ChipSpec};
 use photonic_disagg::rack::mcm::McmPacking;
 use photonic_disagg::workloads::gpu::gpu_applications;
 use photonic_disagg::workloads::patterns::{AccessPattern, PatternParams};
+use photonic_disagg::workloads::TrafficPattern;
 use proptest::prelude::*;
 
 proptest! {
@@ -194,6 +199,64 @@ proptest! {
         let slowed =
             GpuTimingModel::new(GpuConfig::a100().with_extra_hbm_latency_ns(extra)).run(app);
         prop_assert!(slowed.total_cycles >= base.total_cycles - 1e-9);
+    }
+
+    /// Under utilization scaling, per-scenario energy is monotone in the
+    /// offered load: scaling a below-saturation permutation up carries
+    /// strictly more bits through the fabric and therefore consumes strictly
+    /// more energy — and never more than the always-on assumption.
+    #[test]
+    fn energy_monotone_in_offered_load_under_utilization_scaling(
+        demand in 1.0f64..60.0,
+        scale in 1.05f64..1.9,
+        seed in 0u64..500,
+    ) {
+        // Permutation flows below the >=125 Gbps direct capacity are fully
+        // satisfied, so carried bits — and with them utilization-scaled
+        // energy — grow proportionally with the offered demand.
+        let run = |d: f64| {
+            SweepGrid::named("prop-energy")
+                .mcm_counts([16])
+                .patterns([TrafficPattern::Permutation { demand_gbps: d }])
+                .energy_modes([EnergyMode::UtilizationScaled, EnergyMode::AlwaysOn])
+                .base_seed(seed)
+                .run()
+        };
+        let lo = run(demand);
+        let hi = run(demand * scale);
+        let util_j = |r: &photonic_disagg::core::SweepReport| r.rows[0].metric("energy_j").unwrap();
+        let always_j =
+            |r: &photonic_disagg::core::SweepReport| r.rows[1].metric("energy_j").unwrap();
+        prop_assert!(
+            util_j(&hi) > util_j(&lo),
+            "energy must rise with offered load: {} J at {demand} Gbps vs {} J at {} Gbps",
+            util_j(&lo),
+            util_j(&hi),
+            demand * scale
+        );
+        prop_assert!(util_j(&lo) <= always_j(&lo) + 1e-6);
+        prop_assert!(util_j(&hi) <= always_j(&hi) + 1e-6);
+    }
+
+    /// At any load — including far past saturation — utilization-scaled
+    /// energy stays bounded by the always-on budget: the fabric cannot carry
+    /// more wire bits than its link capacity.
+    #[test]
+    fn utilization_energy_bounded_by_always_on_at_any_load(
+        demand in 10.0f64..20_000.0,
+        hot in 1u32..4,
+        seed in 0u64..500,
+    ) {
+        let report = SweepGrid::named("prop-bound")
+            .mcm_counts([12])
+            .patterns([TrafficPattern::HotSpot { hot_mcms: hot, demand_gbps: demand }])
+            .energy_modes([EnergyMode::UtilizationScaled, EnergyMode::AlwaysOn])
+            .base_seed(seed)
+            .run();
+        let util = report.rows[0].metric("energy_j").unwrap();
+        let always = report.rows[1].metric("energy_j").unwrap();
+        prop_assert!(util <= always + 1e-6, "util {util} J > always-on {always} J");
+        prop_assert!(util.is_finite() && util >= 0.0);
     }
 
     /// MCM packing always preserves per-chip escape bandwidth, for any chip
