@@ -22,7 +22,9 @@
 //! Modes: `always` (transceivers at full rate, the paper's pessimistic
 //! assumption), `util` (energy follows carried bits; indirect bits pay two
 //! link traversals). `--epoch-seconds` and `--reconfig-joules` tune the
-//! energy knobs; `--smoke` runs the small fixed CI grid. `--json` emits a
+//! energy knobs; `--smoke` runs the small fixed CI grid. `--threads N`
+//! sets the worker-thread count (default: `PD_THREADS`, then all available
+//! cores); output bytes are identical at any thread count. `--json` emits a
 //! single document: `{"headline": <SweepReport>, "tradeoff": <SweepReport>}`
 //! (just the one `SweepReport` in `--smoke` mode).
 
@@ -30,7 +32,7 @@ use std::process::exit;
 
 use disagg_core::energy::{EnergyConfig, EnergyMode};
 use disagg_core::report::format_sweep_report;
-use disagg_core::sweep::{artifacts, SweepGrid};
+use disagg_core::sweep::{artifacts, configure_threads, SweepGrid};
 use fabric::{FabricKind, ReallocationPolicy};
 use workloads::{DemandTimeline, TrafficPattern};
 
@@ -39,7 +41,7 @@ fn usage() -> ! {
         "usage: energy [--mcms N,..] [--fabric awgr|wave|spatial,..] [--schedule S,..]\n\
          \x20             [--policy static|greedy|hystX,..] [--mode always|util,..]\n\
          \x20             [--demand GBPS] [--epochs N] [--epoch-seconds S]\n\
-         \x20             [--reconfig-joules J] [--seed N] [--json] [--smoke]\n\
+         \x20             [--reconfig-joules J] [--seed N] [--threads N] [--json] [--smoke]\n\
          schedules: shifthotN | hpcmix | steady"
     );
     exit(2);
@@ -171,6 +173,7 @@ fn main() {
     let mut config = EnergyConfig::default();
     let mut json = false;
     let mut smoke = false;
+    let mut threads: Option<usize> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -180,6 +183,9 @@ fn main() {
             args.get(i).cloned().unwrap_or_else(|| usage())
         };
         match flag {
+            "--threads" => {
+                threads = Some(parse_scalar::<usize>("--threads", &take()).max(1));
+            }
             "--mcms" => {
                 let v = take();
                 grid = grid.mcm_counts(parse_list("--mcms", &v));
@@ -214,6 +220,7 @@ fn main() {
         i += 1;
     }
 
+    configure_threads(threads);
     if smoke {
         // The fixed CI grid, pinned by tests/golden/energy_smoke.json.
         let artifact = artifacts::energy_smoke();

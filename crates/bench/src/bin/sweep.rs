@@ -17,12 +17,24 @@
 //! adds the energy-accounting axis (`always` and/or `util`), attaching
 //! per-scenario joules/watts/pJ-per-bit metrics and the report's
 //! `EnergyStats` block.
+//!
+//! Execution control: `--threads N` sets the worker-thread count (default:
+//! the `PD_THREADS` environment variable, then all available cores) —
+//! output bytes are identical at any thread count. For grids too large to
+//! hold in memory, `--row-cap N` keeps only the first N rows (the summary
+//! still aggregates everything) and `--shard-rows N` emits the rows as
+//! self-contained report shards of N rows each (one JSON document per line
+//! with `--json`), followed by the summary-only master report.
+//! `--bench FILE` times the fixed reference grid at 1 thread vs the
+//! configured count and writes the wall-clock numbers to FILE
+//! (`BENCH_sweep.json` in CI).
 
 use std::process::exit;
+use std::time::Instant;
 
 use disagg_core::energy::EnergyMode;
 use disagg_core::report::format_sweep_report;
-use disagg_core::sweep::SweepGrid;
+use disagg_core::sweep::{configure_threads, StreamConfig, SweepGrid};
 use fabric::FabricKind;
 use workloads::TrafficPattern;
 
@@ -31,7 +43,8 @@ fn usage() -> ! {
         "usage: sweep [--mcms N,..] [--fibers N,..] [--wavelengths N,..] [--gbps X,..]\n\
          \x20            [--fabric awgr|wave|spatial,..] [--pattern P,..] [--demand GBPS]\n\
          \x20            [--latency NS,..] [--energy always|util,..] [--replicates N]\n\
-         \x20            [--seed N] [--json]\n\
+         \x20            [--seed N] [--threads N] [--row-cap N] [--shard-rows N]\n\
+         \x20            [--bench FILE] [--json]\n\
          patterns: uniformN | permutation | hotspotN | neighborN | alltoall"
     );
     exit(2);
@@ -126,12 +139,72 @@ fn parse_energy(value: &str) -> Vec<EnergyMode> {
         .collect()
 }
 
+/// The fixed reference grid `--bench` times: heavy enough that per-scenario
+/// work dominates pool overhead, varied enough to exercise both fabric
+/// constructions and the indirect-routing path.
+fn bench_reference_grid() -> SweepGrid {
+    SweepGrid::named("bench-reference")
+        .mcm_counts([350])
+        .fabric_kinds([FabricKind::ParallelAwgrs, FabricKind::WaveSelective])
+        .patterns([
+            // All-to-all at full rack scale is the heavy hitter: ~122k
+            // flows per scenario through the allocator.
+            TrafficPattern::AllToAll { demand_gbps: 8.0 },
+            TrafficPattern::Permutation { demand_gbps: 600.0 },
+            TrafficPattern::HotSpot {
+                hot_mcms: 8,
+                demand_gbps: 500.0,
+            },
+        ])
+        .direct_latencies_ns([35.0])
+        .replicates(32)
+}
+
+/// Time the reference grid at 1 thread vs `threads`, verify the outputs
+/// are byte-identical, and write the numbers to `path` as one JSON object.
+fn run_bench(path: &str, threads: usize) {
+    let grid = bench_reference_grid();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // Brief warm-up (one replicate of the grid) so the timed runs don't
+    // charge cold allocator/page-cache effects to the serial measurement.
+    let _ = rayon::with_max_threads(1, || bench_reference_grid().replicates(1).run());
+    let start = Instant::now();
+    let serial = rayon::with_max_threads(1, || grid.run());
+    let serial_ms = start.elapsed().as_secs_f64() * 1e3;
+    let start = Instant::now();
+    let parallel = rayon::with_max_threads(threads, || grid.run());
+    let parallel_ms = start.elapsed().as_secs_f64() * 1e3;
+    let identical = serial.to_json() == parallel.to_json();
+    let json = format!(
+        "{{\"grid\":\"{}\",\"scenarios\":{},\"available_cores\":{cores},\
+         \"wall_ms_1_thread\":{serial_ms:.1},\"threads\":{threads},\
+         \"wall_ms_n_threads\":{parallel_ms:.1},\"speedup\":{:.2},\
+         \"identical_output\":{identical}}}",
+        serial.name,
+        serial.rows.len(),
+        serial_ms / parallel_ms,
+    );
+    std::fs::write(path, format!("{json}\n")).unwrap_or_else(|e| {
+        eprintln!("sweep: cannot write {path}: {e}");
+        exit(1);
+    });
+    println!("{json}");
+    if !identical {
+        eprintln!("sweep: parallel output diverged from serial — determinism bug");
+        exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut grid = SweepGrid::named("sweep");
     let mut json = false;
     let mut demand_gbps = 100.0;
     let mut pattern_spec: Option<String> = None;
+    let mut threads: Option<usize> = None;
+    let mut row_cap: Option<usize> = None;
+    let mut shard_rows: Option<usize> = None;
+    let mut bench_path: Option<String> = None;
 
     // `--demand` must apply to the patterns no matter the flag order, so
     // patterns are parsed after the full argument scan.
@@ -161,9 +234,18 @@ fn main() {
             "--energy" => grid.energy_modes = parse_energy(value),
             "--replicates" => grid.replicates = parse_scalar::<u32>(flag, value).max(1),
             "--seed" => grid.base_seed = parse_scalar::<u64>(flag, value),
+            "--threads" => threads = Some(parse_scalar::<usize>(flag, value).max(1)),
+            "--row-cap" => row_cap = Some(parse_scalar::<usize>(flag, value)),
+            "--shard-rows" => shard_rows = Some(parse_scalar::<usize>(flag, value).max(1)),
+            "--bench" => bench_path = Some(value.clone()),
             _ => usage(),
         }
         i += 2;
+    }
+    let threads = configure_threads(threads);
+    if let Some(path) = bench_path {
+        run_bench(&path, threads);
+        return;
     }
     if let Some(spec) = pattern_spec {
         grid.patterns = parse_patterns(&spec, demand_gbps);
@@ -174,7 +256,32 @@ fn main() {
         }];
     }
 
-    let report = grid.run();
+    let stream = StreamConfig {
+        row_cap,
+        ..StreamConfig::default()
+    };
+    if let Some(rows_per_shard) = shard_rows {
+        // Sharded emission: each shard is a self-contained report, then the
+        // summary-only master closes the stream.
+        let master = grid.run_sharded(&stream, rows_per_shard, &mut |shard| {
+            if json {
+                println!("{}", shard.to_json());
+            } else {
+                print!("{}", format_sweep_report(&shard));
+            }
+        });
+        if json {
+            println!("{}", master.to_json());
+        } else {
+            print!("{}", format_sweep_report(&master));
+        }
+        return;
+    }
+    let report = if row_cap.is_some() {
+        grid.run_streaming(&stream)
+    } else {
+        grid.run()
+    };
     if json {
         println!("{}", report.to_json());
     } else {

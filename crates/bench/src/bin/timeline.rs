@@ -13,12 +13,14 @@
 //! GPU workload registry), `steady` (a single flat permutation phase).
 //! Policies: `static`, `greedy`, `hystX` (re-steer below satisfaction X).
 //! `--epochs` sets the epochs per phase; `--smoke` runs a small fixed grid
-//! and exits (the CI rot-check mode).
+//! and exits (the CI rot-check mode). `--threads N` sets the worker-thread
+//! count (default: `PD_THREADS`, then all available cores); output bytes
+//! are identical at any thread count.
 
 use std::process::exit;
 
 use disagg_core::report::format_sweep_report;
-use disagg_core::sweep::SweepGrid;
+use disagg_core::sweep::{configure_threads, SweepGrid};
 use fabric::{FabricKind, ReallocationPolicy};
 use workloads::{DemandTimeline, TrafficPattern};
 
@@ -26,7 +28,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: timeline [--mcms N,..] [--fabric awgr|wave|spatial,..] [--schedule S,..]\n\
          \x20               [--policy static|greedy|hystX,..] [--demand GBPS] [--epochs N]\n\
-         \x20               [--latency NS,..] [--replicates N] [--seed N] [--json] [--smoke]\n\
+         \x20               [--latency NS,..] [--replicates N] [--seed N] [--threads N]\n\
+         \x20               [--json] [--smoke]\n\
          schedules: shifthotN | hpcmix | steady"
     );
     exit(2);
@@ -137,6 +140,7 @@ fn main() {
     let mut epochs_per_phase = 3u32;
     let mut json = false;
     let mut smoke = false;
+    let mut threads: Option<usize> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -146,6 +150,9 @@ fn main() {
             args.get(i).cloned().unwrap_or_else(|| usage())
         };
         match flag {
+            "--threads" => {
+                threads = Some(parse_scalar::<usize>("--threads", &take()).max(1));
+            }
             "--mcms" => {
                 let v = take();
                 grid = grid.mcm_counts(parse_list("--mcms", &v));
@@ -181,6 +188,7 @@ fn main() {
         i += 1;
     }
 
+    configure_threads(threads);
     if smoke {
         grid = grid.mcm_counts([16]);
         schedules = "shifthot2,steady".to_string();

@@ -1,0 +1,454 @@
+//! The execution layer: the order-preserving [`parallel_map`] primitive,
+//! thread-count plumbing, the `Arc`-shared fabric memoization cache, and
+//! the batched streaming runner behind [`SweepGrid::run`],
+//! [`SweepGrid::run_streaming`], and [`SweepGrid::run_sharded`].
+//!
+//! Execution is *streaming by construction*: scenarios are decoded from
+//! the lazy [`ScenarioIter`](crate::sweep::ScenarioIter) one batch at a
+//! time, each batch fans out across the thread pool, and summary metrics
+//! (and energy totals) fold into a running aggregator in scenario order.
+//! `run` is simply the streaming path with every row retained, so the
+//! byte-identical golden fixtures exercise the same machinery a
+//! million-scenario grid uses with a row cap.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use fabric::{
+    FabricKind, Flow, FlowSimConfig, FlowSimulator, RackFabric, RackFabricConfig, TimelineConfig,
+    TimelineSimulator,
+};
+use rayon::prelude::*;
+
+use crate::energy::{EnergyConfig, EnergyModel};
+use crate::report::{SweepReport, SweepRow};
+use crate::sweep::grid::SweepGrid;
+use crate::sweep::scenario::{Scenario, ScenarioLoad, ScenarioResult};
+
+/// Run `f` over every item, in parallel, preserving input order.
+///
+/// This is the engine's only execution primitive: the grid runner, the CPU
+/// and GPU experiment drivers, and the ported table/figure artifacts all go
+/// through it, so every sweep in the workspace executes on the vendored
+/// chunk-stealing thread pool at once. Results are byte-identical to a
+/// serial run at any thread count (the pool preserves order and never
+/// reorders reductions), and a panic in `f` propagates to the caller.
+pub fn parallel_map<I, R, F>(items: &[I], f: F) -> Vec<R>
+where
+    I: Sync,
+    R: Send,
+    F: Fn(&I) -> R + Sync + Send,
+{
+    items.par_iter().map(f).collect()
+}
+
+/// Fix the engine's thread count from a CLI request, falling back to the
+/// `PD_THREADS` environment variable and then to the machine's available
+/// parallelism. Returns the effective thread count.
+///
+/// Binaries call this once at startup (`--threads N` wins over
+/// `PD_THREADS=N`, which wins over the hardware default); the first caller
+/// in a process pins the global setting, as with rayon's
+/// `ThreadPoolBuilder::build_global`. Tests that need a specific count use
+/// [`rayon::with_max_threads`] instead, which scopes the override to a
+/// closure.
+pub fn configure_threads(requested: Option<usize>) -> usize {
+    let threads = requested
+        .filter(|&n| n > 0)
+        .or_else(|| {
+            std::env::var("PD_THREADS")
+                .ok()
+                .and_then(|v| v.trim().parse().ok())
+                .filter(|&n| n > 0)
+        })
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+    let _ = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build_global();
+    rayon::current_num_threads()
+}
+
+/// Knobs of the streaming execution path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamConfig {
+    /// Scenarios decoded and executed per parallel batch. The default
+    /// (4096) keeps per-batch overhead negligible while bounding peak
+    /// memory at one batch of scenarios plus one batch of results.
+    pub batch_size: usize,
+    /// Maximum number of rows (and energy entries) retained in the
+    /// returned report; `None` keeps every row. Summary metrics always
+    /// aggregate over *all* executed scenarios, capped or not.
+    pub row_cap: Option<usize>,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            batch_size: 4096,
+            row_cap: None,
+        }
+    }
+}
+
+impl StreamConfig {
+    /// Streaming config with a row cap.
+    pub fn with_row_cap(cap: usize) -> Self {
+        StreamConfig {
+            row_cap: Some(cap),
+            ..StreamConfig::default()
+        }
+    }
+}
+
+impl SweepGrid {
+    /// Execute the grid in parallel on the vendored thread pool and collect
+    /// a [`SweepReport`]. Results are byte-identical to
+    /// [`SweepGrid::run_serial`] at any thread count.
+    pub fn run(&self) -> SweepReport {
+        self.run_with(true, &StreamConfig::default())
+    }
+
+    /// Execute the grid one scenario at a time (reference implementation for
+    /// the parallel-equivalence contract).
+    pub fn run_serial(&self) -> SweepReport {
+        self.run_with(false, &StreamConfig::default())
+    }
+
+    /// Execute the grid through the streaming path with explicit knobs:
+    /// bounded batches and an optional row cap, so a multi-million-scenario
+    /// grid completes without ever materializing all rows. With
+    /// `row_cap: None` the result is byte-identical to [`SweepGrid::run`].
+    ///
+    /// ```
+    /// use disagg_core::sweep::{StreamConfig, SweepGrid};
+    ///
+    /// let grid = SweepGrid::named("s").mcm_counts([16]).replicates(64);
+    /// let capped = grid.run_streaming(&StreamConfig::with_row_cap(4));
+    /// assert_eq!(capped.rows.len(), 4);
+    /// // The summary still aggregates all 64 replicates.
+    /// assert_eq!(capped.summary_metric("scenarios"), Some(64.0));
+    /// assert_eq!(capped.summary, grid.run().summary);
+    /// ```
+    pub fn run_streaming(&self, config: &StreamConfig) -> SweepReport {
+        self.run_with(true, config)
+    }
+
+    /// Execute the grid, emitting rows in shards of `rows_per_shard`
+    /// through `emit` (each shard a self-contained [`SweepReport`] named
+    /// `{name}.shard{k}`), and return a summary-only master report. This is
+    /// the JSON-output path for grids too large for one document: peak
+    /// memory is one shard, whatever the grid size. A
+    /// [`StreamConfig::row_cap`] bounds the total rows emitted across all
+    /// shards; the summary still aggregates every scenario.
+    pub fn run_sharded(
+        &self,
+        config: &StreamConfig,
+        rows_per_shard: usize,
+        emit: &mut dyn FnMut(SweepReport),
+    ) -> SweepReport {
+        let rows_per_shard = rows_per_shard.max(1);
+        let row_cap = config.row_cap.unwrap_or(usize::MAX);
+        let mut rows_emitted = 0usize;
+        let mut aggregator = StreamAggregator::new();
+        let mut shard_index = 0usize;
+        let mut shard = SweepReport::new(format!("{}.shard0", self.name));
+        let fabrics_built = self.drive(true, config.batch_size.max(1), &mut |result| {
+            aggregator.absorb(&result);
+            if rows_emitted + shard.rows.len() < row_cap {
+                push_row(&mut shard, result);
+            }
+            if shard.rows.len() >= rows_per_shard {
+                shard_index += 1;
+                rows_emitted += shard.rows.len();
+                let full = std::mem::replace(
+                    &mut shard,
+                    SweepReport::new(format!("{}.shard{shard_index}", self.name)),
+                );
+                emit(full);
+            }
+        });
+        if !shard.rows.is_empty() {
+            emit(shard);
+        }
+        let mut master = SweepReport::new(self.name.clone());
+        aggregator.finish(&mut master, fabrics_built);
+        master
+    }
+
+    fn run_with(&self, parallel: bool, config: &StreamConfig) -> SweepReport {
+        let row_cap = config.row_cap.unwrap_or(usize::MAX);
+        let mut report = SweepReport::new(self.name.clone());
+        let mut aggregator = StreamAggregator::new();
+        let fabrics_built = self.drive(parallel, config.batch_size.max(1), &mut |result| {
+            aggregator.absorb(&result);
+            if report.rows.len() < row_cap {
+                push_row(&mut report, result);
+            }
+        });
+        aggregator.finish(&mut report, fabrics_built);
+        report
+    }
+
+    /// The core streaming driver: decode scenarios lazily in batches,
+    /// execute each batch across the pool (or serially), and visit every
+    /// result in grid-expansion order. Returns the number of distinct
+    /// fabrics built.
+    fn drive(
+        &self,
+        parallel: bool,
+        batch_size: usize,
+        visit: &mut dyn FnMut(ScenarioResult),
+    ) -> usize {
+        let mut scenarios = self.scenarios();
+        if scenarios.len() == 0 {
+            return 0;
+        }
+        // Every distinct topology is built exactly once, up front, from the
+        // hardware axes alone (independent of how many load points,
+        // latencies, or replicates multiply the grid); worker threads then
+        // share the built `RackFabric`s through `Arc` instead of cloning
+        // per scenario.
+        let cache = FabricCache::from_grid(self, parallel);
+        let hop = self.indirect_hop_latency_ns;
+        let energy_config = self.energy_config;
+        let mut batch: Vec<Scenario> = Vec::with_capacity(batch_size.min(scenarios.len()));
+        loop {
+            batch.clear();
+            batch.extend(scenarios.by_ref().take(batch_size));
+            if batch.is_empty() {
+                break;
+            }
+            let results: Vec<ScenarioResult> = if parallel {
+                parallel_map(&batch, |s| run_scenario(s, &cache, hop, &energy_config))
+            } else {
+                batch
+                    .iter()
+                    .map(|s| run_scenario(s, &cache, hop, &energy_config))
+                    .collect()
+            };
+            for result in results {
+                visit(result);
+            }
+        }
+        cache.len()
+    }
+}
+
+/// Append one result's row (and energy entry, if any) to a report.
+fn push_row(report: &mut SweepReport, result: ScenarioResult) {
+    let row: SweepRow = result.to_row();
+    if let Some(energy) = result.energy {
+        report.energy.push((row.label.clone(), energy));
+    }
+    report.rows.push(row);
+}
+
+/// Running aggregation of the summary metrics, folding results in
+/// grid-expansion order with exactly the operation sequence the
+/// materialized implementation used — so the emitted summary block is
+/// byte-identical whether rows were retained or streamed past.
+struct StreamAggregator {
+    scenarios: usize,
+    satisfaction_sum: f64,
+    satisfaction_min: f64,
+    latency_sum: f64,
+    energy_count: usize,
+    energy_total_j: f64,
+    energy_watts_sum: f64,
+}
+
+impl StreamAggregator {
+    fn new() -> Self {
+        StreamAggregator {
+            scenarios: 0,
+            satisfaction_sum: 0.0,
+            satisfaction_min: f64::MAX,
+            latency_sum: 0.0,
+            energy_count: 0,
+            energy_total_j: 0.0,
+            energy_watts_sum: 0.0,
+        }
+    }
+
+    fn absorb(&mut self, result: &ScenarioResult) {
+        self.scenarios += 1;
+        self.satisfaction_sum += result.satisfaction;
+        self.satisfaction_min = self.satisfaction_min.min(result.satisfaction);
+        self.latency_sum += result.mean_latency_ns;
+        if let Some(energy) = &result.energy {
+            self.energy_count += 1;
+            self.energy_total_j += energy.total_joules();
+            self.energy_watts_sum += energy.watts();
+        }
+    }
+
+    fn finish(self, report: &mut SweepReport, fabrics_built: usize) {
+        let n = self.scenarios;
+        if n == 0 {
+            return;
+        }
+        report.summary = vec![
+            ("scenarios".to_string(), n as f64),
+            ("fabrics_built".to_string(), fabrics_built as f64),
+            (
+                "mean_satisfaction".to_string(),
+                self.satisfaction_sum / n as f64,
+            ),
+            ("min_satisfaction".to_string(), self.satisfaction_min),
+            ("mean_latency_ns".to_string(), self.latency_sum / n as f64),
+        ];
+        if self.energy_count > 0 {
+            report
+                .summary
+                .push(("total_energy_j".to_string(), self.energy_total_j));
+            report.summary.push((
+                "mean_power_w".to_string(),
+                self.energy_watts_sum / self.energy_count as f64,
+            ));
+        }
+    }
+}
+
+/// Memoized fabric constructions: scenarios that share a topology share one
+/// built [`RackFabric`] behind an `Arc`, handed to worker threads by
+/// reference — never rebuilt or cloned per scenario, and independent of
+/// how many scenarios the load/latency/replicate axes multiply onto each
+/// topology.
+pub(super) struct FabricCache {
+    fabrics: HashMap<FabricKey, Arc<RackFabric>>,
+}
+
+type FabricKey = (FabricKind, u32, u32, u32, u64);
+
+fn fabric_key(config: &RackFabricConfig) -> FabricKey {
+    (
+        config.kind,
+        config.mcm_count,
+        config.fibers_per_mcm,
+        config.wavelengths_per_fiber,
+        config.gbps_per_wavelength.to_bits(),
+    )
+}
+
+impl FabricCache {
+    /// Build every distinct topology the grid's hardware axes (fabric kind,
+    /// rack size, fibers, wavelengths, data rate, FEC derating) can
+    /// produce, in parallel. Two FEC configs with the same bandwidth
+    /// overhead derate to the same wavelength rate and share a fabric.
+    fn from_grid(grid: &SweepGrid, parallel: bool) -> Self {
+        let mut seen: HashSet<FabricKey> = HashSet::new();
+        let mut unique: Vec<(FabricKey, RackFabricConfig)> = Vec::new();
+        for &kind in &grid.fabric_kinds {
+            for &mcm_count in &grid.mcm_counts {
+                for &fibers_per_mcm in &grid.fibers_per_mcm {
+                    for &wavelengths_per_fiber in &grid.wavelengths_per_fiber {
+                        for &gbps in &grid.gbps_per_wavelength {
+                            for fec in &grid.fec_configs {
+                                let config = RackFabricConfig {
+                                    mcm_count,
+                                    fibers_per_mcm,
+                                    wavelengths_per_fiber,
+                                    gbps_per_wavelength: gbps * (1.0 - fec.bandwidth_overhead),
+                                    kind,
+                                };
+                                let key = fabric_key(&config);
+                                if seen.insert(key) {
+                                    unique.push((key, config));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let built: Vec<Arc<RackFabric>> = if parallel {
+            parallel_map(&unique, |(_, config)| Arc::new(RackFabric::new(*config)))
+        } else {
+            unique
+                .iter()
+                .map(|(_, config)| Arc::new(RackFabric::new(*config)))
+                .collect()
+        };
+        FabricCache {
+            fabrics: unique.into_iter().map(|(k, _)| k).zip(built).collect(),
+        }
+    }
+
+    fn get(&self, config: &RackFabricConfig) -> &RackFabric {
+        &self.fabrics[&fabric_key(config)]
+    }
+
+    fn len(&self) -> usize {
+        self.fabrics.len()
+    }
+}
+
+pub(super) fn run_scenario(
+    scenario: &Scenario,
+    cache: &FabricCache,
+    indirect_hop_ns: f64,
+    energy_config: &EnergyConfig,
+) -> ScenarioResult {
+    let fabric = cache.get(&scenario.fabric);
+    let flow_config = FlowSimConfig {
+        direct_latency_ns: scenario.direct_latency_ns,
+        indirect_hop_latency_ns: indirect_hop_ns,
+        // Decorrelate the Valiant intermediate choice from the traffic
+        // generator while staying a pure function of the scenario seed.
+        seed: scenario.seed ^ 0x9E37_79B9_7F4A_7C15,
+    };
+    let energy_model = scenario
+        .energy_mode
+        .map(|mode| EnergyModel::new(mode, *energy_config, &scenario.fabric, &scenario.fec));
+    match &scenario.load {
+        ScenarioLoad::Pattern(pattern) => {
+            let flows = pattern.flows(scenario.fabric.mcm_count, scenario.seed);
+            let report = FlowSimulator::new(fabric, flow_config).run(&flows);
+            ScenarioResult {
+                scenario: scenario.clone(),
+                flows: flows.len(),
+                offered_gbps: report.offered_gbps,
+                satisfied_gbps: report.satisfied_gbps,
+                satisfaction: report.satisfaction(),
+                direct_only_fraction: report.direct_only_fraction,
+                indirect_fraction: report.indirect_fraction,
+                unsatisfied_fraction: report.unsatisfied_fraction,
+                mean_latency_ns: report.mean_latency_ns,
+                epochs: 1,
+                reconfigurations: 0,
+                energy: energy_model.map(|m| m.account_flows(&report)),
+            }
+        }
+        ScenarioLoad::Timeline(tc) => {
+            let epochs: Vec<Vec<Flow>> = tc
+                .timeline
+                .epoch_matrices(scenario.fabric.mcm_count, scenario.seed);
+            let sim = TimelineSimulator::new(
+                fabric,
+                TimelineConfig {
+                    flow: flow_config,
+                    policy: tc.policy,
+                },
+            );
+            let report = sim.run(&epochs);
+            ScenarioResult {
+                scenario: scenario.clone(),
+                flows: report.epochs.iter().map(|e| e.flows).sum(),
+                offered_gbps: report.offered_gbps,
+                satisfied_gbps: report.satisfied_gbps,
+                satisfaction: report.satisfaction(),
+                direct_only_fraction: report.direct_only_fraction,
+                indirect_fraction: report.indirect_fraction,
+                unsatisfied_fraction: report.unsatisfied_fraction,
+                mean_latency_ns: report.mean_latency_ns,
+                epochs: report.epochs.len(),
+                reconfigurations: report.reconfigurations,
+                energy: energy_model.map(|m| m.account_timeline(&report)),
+            }
+        }
+    }
+}

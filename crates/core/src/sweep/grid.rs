@@ -1,0 +1,400 @@
+//! The declarative grid: axis builders and the lazy, O(1)-indexed
+//! [`ScenarioIter`] expansion.
+
+use fabric::{FabricKind, RackFabricConfig, ReallocationPolicy};
+use photonics::fec::FecConfig;
+use serde::{Deserialize, Serialize};
+use workloads::{DemandTimeline, TrafficPattern};
+
+use crate::energy::{EnergyConfig, EnergyMode};
+use crate::sweep::scenario::{scenario_seed, Scenario, ScenarioLoad, TimelineCase};
+
+/// A declarative cartesian scenario grid.
+///
+/// Axes default to the paper's design point (350-MCM AWGR rack, 32 fibers of
+/// 64 x 25 Gbps wavelengths, CXL-lightweight FEC, a uniform 4-flows-per-MCM
+/// pattern at 100 Gbps, 35 ns direct latency, one replicate), so a grid
+/// definition only states what it varies. An axis set to an empty list
+/// expands to zero scenarios.
+///
+/// # Example
+///
+/// ```
+/// use disagg_core::sweep::SweepGrid;
+/// use fabric::FabricKind;
+/// use workloads::TrafficPattern;
+///
+/// let grid = SweepGrid::named("example")
+///     .mcm_counts([16, 32])
+///     .fabric_kinds([FabricKind::ParallelAwgrs, FabricKind::WaveSelective])
+///     .patterns([TrafficPattern::Permutation { demand_gbps: 200.0 }])
+///     .direct_latencies_ns([35.0]);
+/// assert_eq!(grid.scenario_count(), 4);
+///
+/// let report = grid.run();
+/// assert_eq!(report.rows.len(), 4);
+/// // Same grid, same bytes — serial or parallel.
+/// assert_eq!(report.to_json(), grid.run_serial().to_json());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepGrid {
+    /// Report name.
+    pub name: String,
+    /// Fabric constructions to instantiate.
+    pub fabric_kinds: Vec<FabricKind>,
+    /// Rack sizes (MCMs per rack).
+    pub mcm_counts: Vec<u32>,
+    /// Escape fibers per MCM.
+    pub fibers_per_mcm: Vec<u32>,
+    /// DWDM wavelengths per fiber.
+    pub wavelengths_per_fiber: Vec<u32>,
+    /// Raw data rate per wavelength in Gbps (before FEC overhead).
+    pub gbps_per_wavelength: Vec<f64>,
+    /// FEC pipelines; each derates the effective wavelength rate by its
+    /// bandwidth overhead. (Latency budgets in `direct_latencies_ns` are
+    /// totals — the paper's 35 ns point already includes ~2.5 ns of FEC.)
+    pub fec_configs: Vec<FecConfig>,
+    /// Traffic patterns to offer. Ignored when `timelines` is non-empty
+    /// (the grid then sweeps the temporal axis instead).
+    pub patterns: Vec<TrafficPattern>,
+    /// Demand timelines to offer. When non-empty, the load axis becomes the
+    /// cartesian product `timelines x realloc_policies` and the `patterns`
+    /// axis is ignored.
+    pub timelines: Vec<DemandTimeline>,
+    /// Wavelength-reallocation policies swept against each timeline. Only
+    /// meaningful when `timelines` is non-empty.
+    pub realloc_policies: Vec<ReallocationPolicy>,
+    /// One-way direct fabric latencies in nanoseconds.
+    pub direct_latencies_ns: Vec<f64>,
+    /// Energy-accounting modes to sweep (always-on vs utilization-scaled
+    /// transceivers). Empty (the default) disables energy accounting
+    /// entirely: no extra scenarios, no energy metrics, and no `energy`
+    /// block in the report.
+    pub energy_modes: Vec<EnergyMode>,
+    /// Knobs of the energy layer shared by every scenario (pJ/bit, per-MCM
+    /// switch and compute power floors, epoch duration, per-event
+    /// reconfiguration energy). Only read when `energy_modes` is non-empty.
+    pub energy_config: EnergyConfig,
+    /// Replicates per grid point (each gets an independent derived seed).
+    pub replicates: u32,
+    /// Base seed all per-scenario seeds are derived from.
+    pub base_seed: u64,
+    /// Additional latency per indirect hop in nanoseconds.
+    pub indirect_hop_latency_ns: f64,
+}
+
+impl Default for SweepGrid {
+    fn default() -> Self {
+        SweepGrid {
+            name: "sweep".to_string(),
+            fabric_kinds: vec![FabricKind::ParallelAwgrs],
+            mcm_counts: vec![350],
+            fibers_per_mcm: vec![32],
+            wavelengths_per_fiber: vec![64],
+            gbps_per_wavelength: vec![25.0],
+            fec_configs: vec![FecConfig::cxl_lightweight()],
+            patterns: vec![TrafficPattern::Uniform {
+                flows_per_mcm: 4,
+                demand_gbps: 100.0,
+            }],
+            timelines: Vec::new(),
+            realloc_policies: vec![ReallocationPolicy::GreedyResteer],
+            direct_latencies_ns: vec![35.0],
+            energy_modes: Vec::new(),
+            energy_config: EnergyConfig::default(),
+            replicates: 1,
+            base_seed: 0xD15A66,
+            indirect_hop_latency_ns: 8.0,
+        }
+    }
+}
+
+impl SweepGrid {
+    /// The default (paper design point) grid under a given report name.
+    pub fn named(name: impl Into<String>) -> Self {
+        SweepGrid {
+            name: name.into(),
+            ..SweepGrid::default()
+        }
+    }
+
+    /// Set the fabric-construction axis.
+    pub fn fabric_kinds(mut self, kinds: impl IntoIterator<Item = FabricKind>) -> Self {
+        self.fabric_kinds = kinds.into_iter().collect();
+        self
+    }
+
+    /// Set the rack-size axis.
+    pub fn mcm_counts(mut self, counts: impl IntoIterator<Item = u32>) -> Self {
+        self.mcm_counts = counts.into_iter().collect();
+        self
+    }
+
+    /// Set the fibers-per-MCM axis.
+    pub fn fibers_per_mcm(mut self, fibers: impl IntoIterator<Item = u32>) -> Self {
+        self.fibers_per_mcm = fibers.into_iter().collect();
+        self
+    }
+
+    /// Set the DWDM wavelengths-per-fiber axis.
+    pub fn wavelengths_per_fiber(mut self, wavelengths: impl IntoIterator<Item = u32>) -> Self {
+        self.wavelengths_per_fiber = wavelengths.into_iter().collect();
+        self
+    }
+
+    /// Set the per-wavelength data-rate axis (Gbps).
+    pub fn gbps_per_wavelength(mut self, gbps: impl IntoIterator<Item = f64>) -> Self {
+        self.gbps_per_wavelength = gbps.into_iter().collect();
+        self
+    }
+
+    /// Set the FEC-configuration axis.
+    pub fn fec_configs(mut self, fecs: impl IntoIterator<Item = FecConfig>) -> Self {
+        self.fec_configs = fecs.into_iter().collect();
+        self
+    }
+
+    /// Set the traffic-pattern axis.
+    pub fn patterns(mut self, patterns: impl IntoIterator<Item = TrafficPattern>) -> Self {
+        self.patterns = patterns.into_iter().collect();
+        self
+    }
+
+    /// Set the demand-timeline axis. A non-empty timeline axis switches the
+    /// grid into temporal mode: the load axis becomes
+    /// `timelines x realloc_policies` and `patterns` is ignored.
+    pub fn timelines(mut self, timelines: impl IntoIterator<Item = DemandTimeline>) -> Self {
+        self.timelines = timelines.into_iter().collect();
+        self
+    }
+
+    /// Set the wavelength-reallocation-policy axis (temporal mode only).
+    pub fn realloc_policies(
+        mut self,
+        policies: impl IntoIterator<Item = ReallocationPolicy>,
+    ) -> Self {
+        self.realloc_policies = policies.into_iter().collect();
+        self
+    }
+
+    /// Set the direct-latency axis (ns).
+    pub fn direct_latencies_ns(mut self, latencies: impl IntoIterator<Item = f64>) -> Self {
+        self.direct_latencies_ns = latencies.into_iter().collect();
+        self
+    }
+
+    /// Set the energy-accounting axis. Energy modes are excluded from the
+    /// per-scenario seed (they never change the offered traffic), so both
+    /// modes of a grid point are accounted against the identical demand.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use disagg_core::energy::EnergyMode;
+    /// use disagg_core::sweep::SweepGrid;
+    ///
+    /// let report = SweepGrid::named("e")
+    ///     .mcm_counts([16])
+    ///     .energy_modes([EnergyMode::AlwaysOn, EnergyMode::UtilizationScaled])
+    ///     .run();
+    /// assert_eq!(report.rows.len(), 2);
+    /// assert_eq!(report.energy.len(), 2);
+    /// // Always-on transceivers never draw less than utilization-scaled.
+    /// assert!(
+    ///     report.rows[0].metric("energy_j").unwrap()
+    ///         >= report.rows[1].metric("energy_j").unwrap()
+    /// );
+    /// ```
+    pub fn energy_modes(mut self, modes: impl IntoIterator<Item = EnergyMode>) -> Self {
+        self.energy_modes = modes.into_iter().collect();
+        self
+    }
+
+    /// Override the energy layer's shared knobs (pJ/bit, floors, epoch
+    /// duration, reconfiguration energy).
+    pub fn energy_config(mut self, config: EnergyConfig) -> Self {
+        self.energy_config = config;
+        self
+    }
+
+    /// Set the number of replicates per grid point.
+    pub fn replicates(mut self, replicates: u32) -> Self {
+        self.replicates = replicates.max(1);
+        self
+    }
+
+    /// Set the base seed.
+    pub fn base_seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// The load axis the grid sweeps: the traffic patterns, or — in
+    /// temporal mode — every timeline under every reallocation policy.
+    pub fn loads(&self) -> Vec<ScenarioLoad> {
+        if self.timelines.is_empty() {
+            self.patterns
+                .iter()
+                .map(|&p| ScenarioLoad::Pattern(p))
+                .collect()
+        } else {
+            self.timelines
+                .iter()
+                .flat_map(|t| {
+                    self.realloc_policies.iter().map(move |&policy| {
+                        ScenarioLoad::Timeline(TimelineCase {
+                            timeline: t.clone(),
+                            policy,
+                        })
+                    })
+                })
+                .collect()
+        }
+    }
+
+    /// Number of scenarios the grid expands to (the product of all axis
+    /// lengths times the replicate count).
+    pub fn scenario_count(&self) -> usize {
+        let loads = if self.timelines.is_empty() {
+            self.patterns.len()
+        } else {
+            self.timelines.len() * self.realloc_policies.len()
+        };
+        self.fabric_kinds.len()
+            * self.mcm_counts.len()
+            * self.fibers_per_mcm.len()
+            * self.wavelengths_per_fiber.len()
+            * self.gbps_per_wavelength.len()
+            * self.fec_configs.len()
+            * loads
+            * self.direct_latencies_ns.len()
+            * self.energy_modes.len().max(1)
+            * self.replicates.max(1) as usize
+    }
+
+    /// The energy axis as expanded: `[None]` (accounting off) when no modes
+    /// are set, otherwise one `Some` per configured mode.
+    pub(super) fn energy_axis(&self) -> Vec<Option<EnergyMode>> {
+        if self.energy_modes.is_empty() {
+            vec![None]
+        } else {
+            self.energy_modes.iter().copied().map(Some).collect()
+        }
+    }
+
+    /// Lazily iterate the grid's scenarios in axis-declaration order
+    /// (fabric kind outermost, replicate innermost) without materializing
+    /// them: each scenario is decoded O(1) from its cartesian-product row
+    /// index. This is the streaming substrate `run` executes on — a
+    /// multi-million-row grid never exists as a `Vec<Scenario>`.
+    ///
+    /// ```
+    /// use disagg_core::sweep::SweepGrid;
+    ///
+    /// let grid = SweepGrid::named("lazy").mcm_counts([16, 24]).replicates(500_000);
+    /// let scenarios = grid.scenarios();
+    /// assert_eq!(scenarios.len(), 1_000_000);
+    /// // Random access decodes without expanding the million rows.
+    /// assert_eq!(scenarios.get(999_999).unwrap().replicate, 499_999);
+    /// ```
+    pub fn scenarios(&self) -> ScenarioIter<'_> {
+        ScenarioIter {
+            len: self.scenario_count(),
+            loads: self.loads(),
+            energy_axis: self.energy_axis(),
+            grid: self,
+            next: 0,
+        }
+    }
+
+    /// Expand the grid into concrete scenarios, in axis-declaration order
+    /// (fabric kind outermost, replicate innermost).
+    ///
+    /// This materializes the whole grid; prefer [`SweepGrid::scenarios`]
+    /// (or the streaming runners built on it) for large grids.
+    pub fn expand(&self) -> Vec<Scenario> {
+        self.scenarios().collect()
+    }
+}
+
+/// Lazy, indexed iterator over a grid's scenarios (from
+/// [`SweepGrid::scenarios`]).
+///
+/// Every scenario is decoded on demand from its row index by peeling
+/// mixed-radix digits off the cartesian product — replicate innermost,
+/// fabric kind outermost — so both sequential iteration and random access
+/// ([`ScenarioIter::get`]) are O(1) per scenario in the grid size. Only the
+/// small load axis (`patterns` or `timelines x policies`) is materialized
+/// up front.
+#[derive(Debug, Clone)]
+pub struct ScenarioIter<'g> {
+    grid: &'g SweepGrid,
+    loads: Vec<ScenarioLoad>,
+    energy_axis: Vec<Option<EnergyMode>>,
+    next: usize,
+    len: usize,
+}
+
+impl ScenarioIter<'_> {
+    /// Decode the scenario at `index` in grid-expansion order, without
+    /// advancing the iterator. `None` past the end.
+    pub fn get(&self, index: usize) -> Option<Scenario> {
+        (index < self.len).then(|| self.decode(index))
+    }
+
+    fn decode(&self, index: usize) -> Scenario {
+        let g = self.grid;
+        let mut rem = index;
+        let mut digit = |len: usize| {
+            let d = rem % len;
+            rem /= len;
+            d
+        };
+        // Innermost (fastest-varying) axis first: the mirror image of the
+        // nested expansion loops this decoder replaced.
+        let replicate = digit(g.replicates.max(1) as usize) as u32;
+        let energy_mode = self.energy_axis[digit(self.energy_axis.len())];
+        let latency = g.direct_latencies_ns[digit(g.direct_latencies_ns.len())];
+        let load = &self.loads[digit(self.loads.len())];
+        let fec = g.fec_configs[digit(g.fec_configs.len())];
+        let gbps = g.gbps_per_wavelength[digit(g.gbps_per_wavelength.len())];
+        let wavelengths = g.wavelengths_per_fiber[digit(g.wavelengths_per_fiber.len())];
+        let fibers = g.fibers_per_mcm[digit(g.fibers_per_mcm.len())];
+        let mcm_count = g.mcm_counts[digit(g.mcm_counts.len())];
+        let kind = g.fabric_kinds[digit(g.fabric_kinds.len())];
+        debug_assert_eq!(rem, 0, "index {index} exceeds the grid");
+        Scenario {
+            index,
+            fabric: RackFabricConfig {
+                mcm_count,
+                fibers_per_mcm: fibers,
+                wavelengths_per_fiber: wavelengths,
+                gbps_per_wavelength: gbps * (1.0 - fec.bandwidth_overhead),
+                kind,
+            },
+            fec,
+            load: load.clone(),
+            direct_latency_ns: latency,
+            energy_mode,
+            replicate,
+            seed: scenario_seed(g.base_seed, mcm_count, load, replicate),
+        }
+    }
+}
+
+impl Iterator for ScenarioIter<'_> {
+    type Item = Scenario;
+
+    fn next(&mut self) -> Option<Scenario> {
+        let scenario = self.get(self.next)?;
+        self.next += 1;
+        Some(scenario)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.len - self.next;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for ScenarioIter<'_> {}

@@ -3,843 +3,54 @@
 //! Every figure and table of the paper is one point (or one small grid) in a
 //! much larger scenario space: rack sizes, DWDM wavelength counts and FEC
 //! settings, fabric constructions, and traffic patterns. This module turns
-//! that space into a first-class object:
+//! that space into a first-class object, split across three layers:
 //!
-//! * [`SweepGrid`] — a declarative cartesian product over the scenario axes.
-//!   Builders default every axis to the paper's design point, so a grid
-//!   names only what it varies.
-//! * [`Scenario`] — one expanded grid point with a deterministic per-scenario
-//!   seed derived by hashing the traffic-defining parameters (not the
-//!   scenario's position, so adding values to one axis never changes the
-//!   seeds of existing scenarios; and not the fabric/DWDM/FEC/latency or
-//!   reallocation-policy axes, so sweeping those compares fabrics and
-//!   policies under an identical demand matrix).
-//! * [`ScenarioLoad`] — the load axis: static [`TrafficPattern`] matrices,
-//!   or — when [`SweepGrid::timelines`] is set — phased
-//!   [`DemandTimeline`]s executed per epoch by `fabric`'s
-//!   [`TimelineSimulator`] under each swept [`ReallocationPolicy`].
-//! * [`SweepGrid::energy_modes`] — the optional energy axis: each scenario
-//!   is additionally accounted by `core::energy` under always-on and/or
-//!   utilization-scaled transceiver assumptions, adding energy metrics to
-//!   every row and an `EnergyStats` block to the report. Energy modes never
-//!   perturb the scenario seed.
-//! * [`SweepGrid::run`] — parallel execution via rayon with memoized fabric
-//!   construction (scenarios that share a topology share one built
-//!   [`RackFabric`]), producing the unified [`SweepReport`] schema.
-//! * [`parallel_map`] — the engine's order-preserving parallel primitive,
-//!   also used by the CPU/GPU experiment drivers and the ported paper
-//!   artifacts in [`artifacts`].
+//! * [`grid`](self) — [`SweepGrid`], the declarative cartesian product over
+//!   the scenario axes (builders default every axis to the paper's design
+//!   point, so a grid names only what it varies), and
+//!   [`ScenarioIter`], the lazy expansion that decodes any scenario O(1)
+//!   from its cartesian-product row index — a multi-million-row grid is
+//!   never materialized as a `Vec<Scenario>`.
+//! * [`scenario`](self) — [`Scenario`] (one expanded grid point with a
+//!   deterministic seed derived by hashing the traffic-defining parameters
+//!   only, so fabric/DWDM/FEC/latency/policy sweeps compare under an
+//!   identical demand matrix), [`ScenarioLoad`] (static
+//!   [`TrafficPattern`](workloads::TrafficPattern) matrices or phased
+//!   [`DemandTimeline`](workloads::DemandTimeline)s under each swept
+//!   reallocation policy), and [`ScenarioResult`].
+//! * [`exec`](self) — the execution layer: [`parallel_map`], the engine's
+//!   order-preserving parallel primitive on the vendored chunk-stealing
+//!   thread pool; [`configure_threads`] (`--threads` / `PD_THREADS`
+//!   plumbing); the `Arc`-shared fabric memoization cache; and the batched
+//!   streaming runner behind [`SweepGrid::run`],
+//!   [`SweepGrid::run_streaming`] (opt-in row cap), and
+//!   [`SweepGrid::run_sharded`] (bounded-memory JSON emission).
 //!
-//! Determinism contract: the same grid run twice — serially or in parallel —
-//! yields byte-identical [`SweepReport::to_json`] output.
+//! [`SweepGrid::energy_modes`] adds the optional energy axis: each scenario
+//! is additionally accounted by `core::energy` under always-on and/or
+//! utilization-scaled transceiver assumptions; energy modes never perturb
+//! the scenario seed.
+//!
+//! Determinism contract: the same grid run twice — serially, in parallel at
+//! any thread count, streamed or materialized — yields byte-identical
+//! [`SweepReport::to_json`](crate::report::SweepReport::to_json) output.
 
-use std::collections::HashMap;
-use std::sync::Arc;
-
-use fabric::{
-    FabricKind, Flow, FlowSimConfig, FlowSimulator, RackFabric, RackFabricConfig,
-    ReallocationPolicy, TimelineConfig, TimelineSimulator,
-};
-use photonics::fec::FecConfig;
-use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
-use workloads::{DemandTimeline, TrafficPattern};
-
-use crate::energy::{EnergyConfig, EnergyMode, EnergyModel, EnergyStats};
-use crate::report::{SweepReport, SweepRow};
+mod exec;
+mod grid;
+mod scenario;
 
 pub mod artifacts;
 
-/// Run `f` over every item, in parallel, preserving input order.
-///
-/// This is the engine's only execution primitive: the grid runner, the CPU
-/// and GPU experiment drivers, and the ported table/figure artifacts all go
-/// through it, so swapping the vendored sequential rayon shim for the real
-/// crate parallelizes every sweep in the workspace at once.
-pub fn parallel_map<I, R, F>(items: &[I], f: F) -> Vec<R>
-where
-    I: Sync,
-    R: Send,
-    F: Fn(&I) -> R + Sync + Send,
-{
-    items.par_iter().map(f).collect()
-}
-
-/// A declarative cartesian scenario grid.
-///
-/// Axes default to the paper's design point (350-MCM AWGR rack, 32 fibers of
-/// 64 x 25 Gbps wavelengths, CXL-lightweight FEC, a uniform 4-flows-per-MCM
-/// pattern at 100 Gbps, 35 ns direct latency, one replicate), so a grid
-/// definition only states what it varies. An axis set to an empty list
-/// expands to zero scenarios.
-///
-/// # Example
-///
-/// ```
-/// use disagg_core::sweep::SweepGrid;
-/// use fabric::FabricKind;
-/// use workloads::TrafficPattern;
-///
-/// let grid = SweepGrid::named("example")
-///     .mcm_counts([16, 32])
-///     .fabric_kinds([FabricKind::ParallelAwgrs, FabricKind::WaveSelective])
-///     .patterns([TrafficPattern::Permutation { demand_gbps: 200.0 }])
-///     .direct_latencies_ns([35.0]);
-/// assert_eq!(grid.scenario_count(), 4);
-///
-/// let report = grid.run();
-/// assert_eq!(report.rows.len(), 4);
-/// // Same grid, same bytes — serial or parallel.
-/// assert_eq!(report.to_json(), grid.run_serial().to_json());
-/// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct SweepGrid {
-    /// Report name.
-    pub name: String,
-    /// Fabric constructions to instantiate.
-    pub fabric_kinds: Vec<FabricKind>,
-    /// Rack sizes (MCMs per rack).
-    pub mcm_counts: Vec<u32>,
-    /// Escape fibers per MCM.
-    pub fibers_per_mcm: Vec<u32>,
-    /// DWDM wavelengths per fiber.
-    pub wavelengths_per_fiber: Vec<u32>,
-    /// Raw data rate per wavelength in Gbps (before FEC overhead).
-    pub gbps_per_wavelength: Vec<f64>,
-    /// FEC pipelines; each derates the effective wavelength rate by its
-    /// bandwidth overhead. (Latency budgets in `direct_latencies_ns` are
-    /// totals — the paper's 35 ns point already includes ~2.5 ns of FEC.)
-    pub fec_configs: Vec<FecConfig>,
-    /// Traffic patterns to offer. Ignored when `timelines` is non-empty
-    /// (the grid then sweeps the temporal axis instead).
-    pub patterns: Vec<TrafficPattern>,
-    /// Demand timelines to offer. When non-empty, the load axis becomes the
-    /// cartesian product `timelines x realloc_policies` and the `patterns`
-    /// axis is ignored.
-    pub timelines: Vec<DemandTimeline>,
-    /// Wavelength-reallocation policies swept against each timeline. Only
-    /// meaningful when `timelines` is non-empty.
-    pub realloc_policies: Vec<ReallocationPolicy>,
-    /// One-way direct fabric latencies in nanoseconds.
-    pub direct_latencies_ns: Vec<f64>,
-    /// Energy-accounting modes to sweep (always-on vs utilization-scaled
-    /// transceivers). Empty (the default) disables energy accounting
-    /// entirely: no extra scenarios, no energy metrics, and no `energy`
-    /// block in the report.
-    pub energy_modes: Vec<EnergyMode>,
-    /// Knobs of the energy layer shared by every scenario (pJ/bit, per-MCM
-    /// switch and compute power floors, epoch duration, per-event
-    /// reconfiguration energy). Only read when `energy_modes` is non-empty.
-    pub energy_config: EnergyConfig,
-    /// Replicates per grid point (each gets an independent derived seed).
-    pub replicates: u32,
-    /// Base seed all per-scenario seeds are derived from.
-    pub base_seed: u64,
-    /// Additional latency per indirect hop in nanoseconds.
-    pub indirect_hop_latency_ns: f64,
-}
-
-impl Default for SweepGrid {
-    fn default() -> Self {
-        SweepGrid {
-            name: "sweep".to_string(),
-            fabric_kinds: vec![FabricKind::ParallelAwgrs],
-            mcm_counts: vec![350],
-            fibers_per_mcm: vec![32],
-            wavelengths_per_fiber: vec![64],
-            gbps_per_wavelength: vec![25.0],
-            fec_configs: vec![FecConfig::cxl_lightweight()],
-            patterns: vec![TrafficPattern::Uniform {
-                flows_per_mcm: 4,
-                demand_gbps: 100.0,
-            }],
-            timelines: Vec::new(),
-            realloc_policies: vec![ReallocationPolicy::GreedyResteer],
-            direct_latencies_ns: vec![35.0],
-            energy_modes: Vec::new(),
-            energy_config: EnergyConfig::default(),
-            replicates: 1,
-            base_seed: 0xD15A66,
-            indirect_hop_latency_ns: 8.0,
-        }
-    }
-}
-
-impl SweepGrid {
-    /// The default (paper design point) grid under a given report name.
-    pub fn named(name: impl Into<String>) -> Self {
-        SweepGrid {
-            name: name.into(),
-            ..SweepGrid::default()
-        }
-    }
-
-    /// Set the fabric-construction axis.
-    pub fn fabric_kinds(mut self, kinds: impl IntoIterator<Item = FabricKind>) -> Self {
-        self.fabric_kinds = kinds.into_iter().collect();
-        self
-    }
-
-    /// Set the rack-size axis.
-    pub fn mcm_counts(mut self, counts: impl IntoIterator<Item = u32>) -> Self {
-        self.mcm_counts = counts.into_iter().collect();
-        self
-    }
-
-    /// Set the fibers-per-MCM axis.
-    pub fn fibers_per_mcm(mut self, fibers: impl IntoIterator<Item = u32>) -> Self {
-        self.fibers_per_mcm = fibers.into_iter().collect();
-        self
-    }
-
-    /// Set the DWDM wavelengths-per-fiber axis.
-    pub fn wavelengths_per_fiber(mut self, wavelengths: impl IntoIterator<Item = u32>) -> Self {
-        self.wavelengths_per_fiber = wavelengths.into_iter().collect();
-        self
-    }
-
-    /// Set the per-wavelength data-rate axis (Gbps).
-    pub fn gbps_per_wavelength(mut self, gbps: impl IntoIterator<Item = f64>) -> Self {
-        self.gbps_per_wavelength = gbps.into_iter().collect();
-        self
-    }
-
-    /// Set the FEC-configuration axis.
-    pub fn fec_configs(mut self, fecs: impl IntoIterator<Item = FecConfig>) -> Self {
-        self.fec_configs = fecs.into_iter().collect();
-        self
-    }
-
-    /// Set the traffic-pattern axis.
-    pub fn patterns(mut self, patterns: impl IntoIterator<Item = TrafficPattern>) -> Self {
-        self.patterns = patterns.into_iter().collect();
-        self
-    }
-
-    /// Set the demand-timeline axis. A non-empty timeline axis switches the
-    /// grid into temporal mode: the load axis becomes
-    /// `timelines x realloc_policies` and `patterns` is ignored.
-    pub fn timelines(mut self, timelines: impl IntoIterator<Item = DemandTimeline>) -> Self {
-        self.timelines = timelines.into_iter().collect();
-        self
-    }
-
-    /// Set the wavelength-reallocation-policy axis (temporal mode only).
-    pub fn realloc_policies(
-        mut self,
-        policies: impl IntoIterator<Item = ReallocationPolicy>,
-    ) -> Self {
-        self.realloc_policies = policies.into_iter().collect();
-        self
-    }
-
-    /// Set the direct-latency axis (ns).
-    pub fn direct_latencies_ns(mut self, latencies: impl IntoIterator<Item = f64>) -> Self {
-        self.direct_latencies_ns = latencies.into_iter().collect();
-        self
-    }
-
-    /// Set the energy-accounting axis. Energy modes are excluded from the
-    /// per-scenario seed (they never change the offered traffic), so both
-    /// modes of a grid point are accounted against the identical demand.
-    ///
-    /// # Example
-    ///
-    /// ```
-    /// use disagg_core::energy::EnergyMode;
-    /// use disagg_core::sweep::SweepGrid;
-    ///
-    /// let report = SweepGrid::named("e")
-    ///     .mcm_counts([16])
-    ///     .energy_modes([EnergyMode::AlwaysOn, EnergyMode::UtilizationScaled])
-    ///     .run();
-    /// assert_eq!(report.rows.len(), 2);
-    /// assert_eq!(report.energy.len(), 2);
-    /// // Always-on transceivers never draw less than utilization-scaled.
-    /// assert!(
-    ///     report.rows[0].metric("energy_j").unwrap()
-    ///         >= report.rows[1].metric("energy_j").unwrap()
-    /// );
-    /// ```
-    pub fn energy_modes(mut self, modes: impl IntoIterator<Item = EnergyMode>) -> Self {
-        self.energy_modes = modes.into_iter().collect();
-        self
-    }
-
-    /// Override the energy layer's shared knobs (pJ/bit, floors, epoch
-    /// duration, reconfiguration energy).
-    pub fn energy_config(mut self, config: EnergyConfig) -> Self {
-        self.energy_config = config;
-        self
-    }
-
-    /// Set the number of replicates per grid point.
-    pub fn replicates(mut self, replicates: u32) -> Self {
-        self.replicates = replicates.max(1);
-        self
-    }
-
-    /// Set the base seed.
-    pub fn base_seed(mut self, seed: u64) -> Self {
-        self.base_seed = seed;
-        self
-    }
-
-    /// The load axis the grid sweeps: the traffic patterns, or — in
-    /// temporal mode — every timeline under every reallocation policy.
-    pub fn loads(&self) -> Vec<ScenarioLoad> {
-        if self.timelines.is_empty() {
-            self.patterns
-                .iter()
-                .map(|&p| ScenarioLoad::Pattern(p))
-                .collect()
-        } else {
-            self.timelines
-                .iter()
-                .flat_map(|t| {
-                    self.realloc_policies.iter().map(move |&policy| {
-                        ScenarioLoad::Timeline(TimelineCase {
-                            timeline: t.clone(),
-                            policy,
-                        })
-                    })
-                })
-                .collect()
-        }
-    }
-
-    /// Number of scenarios the grid expands to (the product of all axis
-    /// lengths times the replicate count).
-    pub fn scenario_count(&self) -> usize {
-        let loads = if self.timelines.is_empty() {
-            self.patterns.len()
-        } else {
-            self.timelines.len() * self.realloc_policies.len()
-        };
-        self.fabric_kinds.len()
-            * self.mcm_counts.len()
-            * self.fibers_per_mcm.len()
-            * self.wavelengths_per_fiber.len()
-            * self.gbps_per_wavelength.len()
-            * self.fec_configs.len()
-            * loads
-            * self.direct_latencies_ns.len()
-            * self.energy_modes.len().max(1)
-            * self.replicates.max(1) as usize
-    }
-
-    /// The energy axis as expanded: `[None]` (accounting off) when no modes
-    /// are set, otherwise one `Some` per configured mode.
-    fn energy_axis(&self) -> Vec<Option<EnergyMode>> {
-        if self.energy_modes.is_empty() {
-            vec![None]
-        } else {
-            self.energy_modes.iter().copied().map(Some).collect()
-        }
-    }
-
-    /// Expand the grid into concrete scenarios, in axis-declaration order
-    /// (fabric kind outermost, replicate innermost).
-    pub fn expand(&self) -> Vec<Scenario> {
-        let loads = self.loads();
-        let energy_axis = self.energy_axis();
-        let mut scenarios = Vec::with_capacity(self.scenario_count());
-        for &kind in &self.fabric_kinds {
-            for &mcm_count in &self.mcm_counts {
-                for &fibers in &self.fibers_per_mcm {
-                    for &wavelengths in &self.wavelengths_per_fiber {
-                        for &gbps in &self.gbps_per_wavelength {
-                            for &fec in &self.fec_configs {
-                                for load in &loads {
-                                    for &latency in &self.direct_latencies_ns {
-                                        for &energy_mode in &energy_axis {
-                                            for replicate in 0..self.replicates.max(1) {
-                                                let fabric = RackFabricConfig {
-                                                    mcm_count,
-                                                    fibers_per_mcm: fibers,
-                                                    wavelengths_per_fiber: wavelengths,
-                                                    gbps_per_wavelength: gbps
-                                                        * (1.0 - fec.bandwidth_overhead),
-                                                    kind,
-                                                };
-                                                let seed = scenario_seed(
-                                                    self.base_seed,
-                                                    mcm_count,
-                                                    load,
-                                                    replicate,
-                                                );
-                                                scenarios.push(Scenario {
-                                                    index: scenarios.len(),
-                                                    fabric,
-                                                    fec,
-                                                    load: load.clone(),
-                                                    direct_latency_ns: latency,
-                                                    energy_mode,
-                                                    replicate,
-                                                    seed,
-                                                });
-                                            }
-                                        }
-                                    }
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        scenarios
-    }
-
-    /// Execute the grid in parallel (via rayon) and collect a
-    /// [`SweepReport`]. Results are identical to [`SweepGrid::run_serial`].
-    pub fn run(&self) -> SweepReport {
-        self.execute(true)
-    }
-
-    /// Execute the grid one scenario at a time (reference implementation for
-    /// the parallel-equivalence contract).
-    pub fn run_serial(&self) -> SweepReport {
-        self.execute(false)
-    }
-
-    fn execute(&self, parallel: bool) -> SweepReport {
-        let scenarios = self.expand();
-        let cache = FabricCache::build(&scenarios, parallel);
-        let hop = self.indirect_hop_latency_ns;
-        let energy_config = self.energy_config;
-        let results: Vec<ScenarioResult> = if parallel {
-            scenarios
-                .par_iter()
-                .map(|s| run_scenario(s, &cache, hop, &energy_config))
-                .collect()
-        } else {
-            scenarios
-                .iter()
-                .map(|s| run_scenario(s, &cache, hop, &energy_config))
-                .collect()
-        };
-        let mut report = SweepReport::new(self.name.clone());
-        report.rows = results.iter().map(ScenarioResult::to_row).collect();
-        report.energy = results
-            .iter()
-            .filter_map(|r| r.energy.map(|e| (r.scenario.label(), e)))
-            .collect();
-        let n = results.len();
-        if n > 0 {
-            let mean_sat = results.iter().map(|r| r.satisfaction).sum::<f64>() / n as f64;
-            let min_sat = results
-                .iter()
-                .map(|r| r.satisfaction)
-                .fold(f64::MAX, f64::min);
-            let mean_lat = results.iter().map(|r| r.mean_latency_ns).sum::<f64>() / n as f64;
-            report.summary = vec![
-                ("scenarios".to_string(), n as f64),
-                ("fabrics_built".to_string(), cache.len() as f64),
-                ("mean_satisfaction".to_string(), mean_sat),
-                ("min_satisfaction".to_string(), min_sat),
-                ("mean_latency_ns".to_string(), mean_lat),
-            ];
-            if !report.energy.is_empty() {
-                let total_j: f64 = report.energy.iter().map(|(_, e)| e.total_joules()).sum();
-                let mean_w = report.energy.iter().map(|(_, e)| e.watts()).sum::<f64>()
-                    / report.energy.len() as f64;
-                report.summary.push(("total_energy_j".to_string(), total_j));
-                report.summary.push(("mean_power_w".to_string(), mean_w));
-            }
-        }
-        report
-    }
-}
-
-/// The offered load of one scenario: a single static demand matrix, or a
-/// phased [`DemandTimeline`] executed under a wavelength-reallocation
-/// policy.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub enum ScenarioLoad {
-    /// A static demand matrix drawn from a traffic pattern.
-    Pattern(TrafficPattern),
-    /// A temporal demand timeline with its reallocation policy.
-    Timeline(TimelineCase),
-}
-
-impl ScenarioLoad {
-    /// Short stable label for scenario labels and report rows.
-    pub fn label(&self) -> String {
-        match self {
-            ScenarioLoad::Pattern(p) => p.label(),
-            ScenarioLoad::Timeline(tc) => {
-                format!("{}~{}", tc.timeline.name, tc.policy.label())
-            }
-        }
-    }
-}
-
-/// One point on the temporal load axis: a timeline and the policy it runs
-/// under. Policies are *excluded* from the scenario seed, so every policy
-/// is evaluated against the identical epoch-by-epoch demand.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct TimelineCase {
-    /// The phased demand schedule.
-    pub timeline: DemandTimeline,
-    /// The wavelength-reallocation policy.
-    pub policy: ReallocationPolicy,
-}
-
-/// One expanded grid point.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct Scenario {
-    /// Position in grid-expansion order.
-    pub index: usize,
-    /// Rack fabric configuration (wavelength rate already FEC-derated).
-    pub fabric: RackFabricConfig,
-    /// FEC pipeline applied to the wavelength rate.
-    pub fec: FecConfig,
-    /// Offered load: a static pattern or a demand timeline with its policy.
-    pub load: ScenarioLoad,
-    /// One-way direct fabric latency (ns).
-    pub direct_latency_ns: f64,
-    /// Energy-accounting mode, `None` when the grid's energy axis is unset.
-    /// Excluded from the scenario seed: both modes see identical demand.
-    pub energy_mode: Option<EnergyMode>,
-    /// Replicate number within the grid point.
-    pub replicate: u32,
-    /// Deterministic seed derived from the traffic-defining parameters
-    /// (load, rack size, replicate) — shared across the fabric, DWDM,
-    /// FEC, latency, and reallocation-policy axes so those sweeps compare
-    /// under identical load.
-    pub seed: u64,
-}
-
-impl Scenario {
-    /// Short human-readable label covering every grid axis, so rows stay
-    /// distinguishable whichever axes a grid varies. (Two FEC configs that
-    /// differ only in fields other than `bandwidth_overhead` execute
-    /// identically and share a label.)
-    pub fn label(&self) -> String {
-        let mut label = format!(
-            "{}-n{}-f{}w{}g{}-{}-l{}-r{}",
-            fabric_kind_label(self.fabric.kind),
-            self.fabric.mcm_count,
-            self.fabric.fibers_per_mcm,
-            self.fabric.wavelengths_per_fiber,
-            self.fabric.gbps_per_wavelength,
-            self.load.label(),
-            self.direct_latency_ns,
-            self.replicate
-        );
-        if let Some(mode) = self.energy_mode {
-            label.push('-');
-            label.push_str(mode.label());
-        }
-        label
-    }
-
-    /// The scenario's input parameters as display pairs for report rows.
-    pub fn params(&self) -> Vec<(String, String)> {
-        let mut params = vec![
-            ("fabric".into(), fabric_kind_label(self.fabric.kind).into()),
-            ("mcms".into(), self.fabric.mcm_count.to_string()),
-            ("fibers".into(), self.fabric.fibers_per_mcm.to_string()),
-            (
-                "wavelengths".into(),
-                self.fabric.wavelengths_per_fiber.to_string(),
-            ),
-            (
-                "gbps_per_wavelength".into(),
-                format!("{}", self.fabric.gbps_per_wavelength),
-            ),
-            (
-                "fec_overhead".into(),
-                format!("{}", self.fec.bandwidth_overhead),
-            ),
-        ];
-        match &self.load {
-            ScenarioLoad::Pattern(p) => params.push(("pattern".into(), p.label())),
-            ScenarioLoad::Timeline(tc) => {
-                params.push(("timeline".into(), tc.timeline.name.clone()));
-                params.push(("policy".into(), tc.policy.label()));
-                params.push(("epochs".into(), tc.timeline.total_epochs().to_string()));
-            }
-        }
-        if let Some(mode) = self.energy_mode {
-            params.push(("energy".into(), mode.label().into()));
-        }
-        params.extend([
-            ("latency_ns".into(), format!("{}", self.direct_latency_ns)),
-            ("replicate".into(), self.replicate.to_string()),
-            ("seed".into(), self.seed.to_string()),
-        ]);
-        params
-    }
-}
-
-/// Short stable label for a fabric construction.
-pub fn fabric_kind_label(kind: FabricKind) -> &'static str {
-    match kind {
-        FabricKind::ParallelAwgrs => "awgr",
-        FabricKind::WaveSelective => "wave",
-        FabricKind::Spatial => "spatial",
-    }
-}
-
-/// Result of one executed scenario (the flow-level aggregates of
-/// [`fabric::FlowSimReport`] without the per-flow allocations).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct ScenarioResult {
-    /// The scenario that produced this result.
-    pub scenario: Scenario,
-    /// Number of flows in the demand matrix.
-    pub flows: usize,
-    /// Total offered demand (Gbps).
-    pub offered_gbps: f64,
-    /// Total satisfied demand (Gbps).
-    pub satisfied_gbps: f64,
-    /// Overall throughput satisfaction in `[0, 1]`.
-    pub satisfaction: f64,
-    /// Fraction of flows fully served by direct wavelengths.
-    pub direct_only_fraction: f64,
-    /// Fraction of flows that needed indirect routing.
-    pub indirect_fraction: f64,
-    /// Fraction of flows with unmet demand.
-    pub unsatisfied_fraction: f64,
-    /// Demand-weighted mean latency (ns).
-    pub mean_latency_ns: f64,
-    /// Number of epochs executed (1 for static pattern scenarios).
-    pub epochs: usize,
-    /// Wavelength reconfigurations performed after the initial assignment
-    /// (always 0 for static pattern scenarios).
-    pub reconfigurations: usize,
-    /// Energy accounting, present iff the scenario carries an energy mode.
-    pub energy: Option<EnergyStats>,
-}
-
-impl ScenarioResult {
-    /// Convert to the unified report-row schema. Temporal scenarios gain
-    /// `epochs` and `reconfigurations` metrics; static pattern rows keep
-    /// the original metric set.
-    pub fn to_row(&self) -> SweepRow {
-        let mut metrics = vec![
-            ("flows".to_string(), self.flows as f64),
-            ("offered_gbps".to_string(), self.offered_gbps),
-            ("satisfied_gbps".to_string(), self.satisfied_gbps),
-            ("satisfaction".to_string(), self.satisfaction),
-            (
-                "direct_only_fraction".to_string(),
-                self.direct_only_fraction,
-            ),
-            ("indirect_fraction".to_string(), self.indirect_fraction),
-            (
-                "unsatisfied_fraction".to_string(),
-                self.unsatisfied_fraction,
-            ),
-            ("mean_latency_ns".to_string(), self.mean_latency_ns),
-        ];
-        if matches!(self.scenario.load, ScenarioLoad::Timeline(_)) {
-            metrics.push(("epochs".to_string(), self.epochs as f64));
-            metrics.push(("reconfigurations".to_string(), self.reconfigurations as f64));
-        }
-        if let Some(e) = &self.energy {
-            metrics.push(("energy_j".to_string(), e.total_joules()));
-            metrics.push(("mean_power_w".to_string(), e.watts()));
-            metrics.push(("pj_per_bit".to_string(), e.pj_per_bit()));
-            metrics.push((
-                "photonic_compute_ratio".to_string(),
-                e.photonic_compute_ratio(),
-            ));
-            metrics.push((
-                "reconfiguration_energy_j".to_string(),
-                e.reconfiguration_energy_j,
-            ));
-        }
-        SweepRow {
-            label: self.scenario.label(),
-            params: self.scenario.params(),
-            metrics,
-        }
-    }
-}
-
-/// Memoized fabric constructions: scenarios that share a topology share one
-/// built [`RackFabric`] instead of rebuilding the membership tables per
-/// scenario.
-struct FabricCache {
-    fabrics: HashMap<FabricKey, Arc<RackFabric>>,
-}
-
-type FabricKey = (FabricKind, u32, u32, u32, u64);
-
-fn fabric_key(config: &RackFabricConfig) -> FabricKey {
-    (
-        config.kind,
-        config.mcm_count,
-        config.fibers_per_mcm,
-        config.wavelengths_per_fiber,
-        config.gbps_per_wavelength.to_bits(),
-    )
-}
-
-impl FabricCache {
-    fn build(scenarios: &[Scenario], parallel: bool) -> Self {
-        let mut seen: std::collections::HashSet<FabricKey> = std::collections::HashSet::new();
-        let mut unique: Vec<(FabricKey, RackFabricConfig)> = Vec::new();
-        for s in scenarios {
-            let key = fabric_key(&s.fabric);
-            if seen.insert(key) {
-                unique.push((key, s.fabric));
-            }
-        }
-        let built: Vec<Arc<RackFabric>> = if parallel {
-            unique
-                .par_iter()
-                .map(|(_, cfg)| Arc::new(RackFabric::new(*cfg)))
-                .collect()
-        } else {
-            unique
-                .iter()
-                .map(|(_, cfg)| Arc::new(RackFabric::new(*cfg)))
-                .collect()
-        };
-        FabricCache {
-            fabrics: unique.into_iter().map(|(k, _)| k).zip(built).collect(),
-        }
-    }
-
-    fn get(&self, config: &RackFabricConfig) -> &RackFabric {
-        &self.fabrics[&fabric_key(config)]
-    }
-
-    fn len(&self) -> usize {
-        self.fabrics.len()
-    }
-}
-
-fn run_scenario(
-    scenario: &Scenario,
-    cache: &FabricCache,
-    indirect_hop_ns: f64,
-    energy_config: &EnergyConfig,
-) -> ScenarioResult {
-    let fabric = cache.get(&scenario.fabric);
-    let flow_config = FlowSimConfig {
-        direct_latency_ns: scenario.direct_latency_ns,
-        indirect_hop_latency_ns: indirect_hop_ns,
-        // Decorrelate the Valiant intermediate choice from the traffic
-        // generator while staying a pure function of the scenario seed.
-        seed: scenario.seed ^ 0x9E37_79B9_7F4A_7C15,
-    };
-    let energy_model = scenario
-        .energy_mode
-        .map(|mode| EnergyModel::new(mode, *energy_config, &scenario.fabric, &scenario.fec));
-    match &scenario.load {
-        ScenarioLoad::Pattern(pattern) => {
-            let flows = pattern.flows(scenario.fabric.mcm_count, scenario.seed);
-            let report = FlowSimulator::new(fabric, flow_config).run(&flows);
-            ScenarioResult {
-                scenario: scenario.clone(),
-                flows: flows.len(),
-                offered_gbps: report.offered_gbps,
-                satisfied_gbps: report.satisfied_gbps,
-                satisfaction: report.satisfaction(),
-                direct_only_fraction: report.direct_only_fraction,
-                indirect_fraction: report.indirect_fraction,
-                unsatisfied_fraction: report.unsatisfied_fraction,
-                mean_latency_ns: report.mean_latency_ns,
-                epochs: 1,
-                reconfigurations: 0,
-                energy: energy_model.map(|m| m.account_flows(&report)),
-            }
-        }
-        ScenarioLoad::Timeline(tc) => {
-            let epochs: Vec<Vec<Flow>> = tc
-                .timeline
-                .epoch_matrices(scenario.fabric.mcm_count, scenario.seed);
-            let sim = TimelineSimulator::new(
-                fabric,
-                TimelineConfig {
-                    flow: flow_config,
-                    policy: tc.policy,
-                },
-            );
-            let report = sim.run(&epochs);
-            ScenarioResult {
-                scenario: scenario.clone(),
-                flows: report.epochs.iter().map(|e| e.flows).sum(),
-                offered_gbps: report.offered_gbps,
-                satisfied_gbps: report.satisfied_gbps,
-                satisfaction: report.satisfaction(),
-                direct_only_fraction: report.direct_only_fraction,
-                indirect_fraction: report.indirect_fraction,
-                unsatisfied_fraction: report.unsatisfied_fraction,
-                mean_latency_ns: report.mean_latency_ns,
-                epochs: report.epochs.len(),
-                reconfigurations: report.reconfigurations,
-                energy: energy_model.map(|m| m.account_timeline(&report)),
-            }
-        }
-    }
-}
-
-/// Derive the per-scenario seed by hashing (FNV-1a) into the grid's base
-/// seed exactly the parameters that define the offered traffic: the
-/// pattern (or the timeline's full phase spec), the rack size it expands
-/// over, and the replicate number.
-///
-/// Deliberately excluded: fabric kind, fibers, wavelengths, data rate, FEC,
-/// latency, and — in temporal mode — the reallocation policy. Scenarios
-/// that differ only along those axes therefore offer the *same* demand
-/// (matrix or epoch sequence), so an axis sweep compares fabrics and
-/// policies under identical load instead of attributing traffic-sampling
-/// noise to the swept axis. The hash is position-independent: extending an
-/// axis never changes the seeds of existing scenarios.
-fn scenario_seed(base: u64, mcm_count: u32, load: &ScenarioLoad, replicate: u32) -> u64 {
-    let mut h = Fnv1a::new(base);
-    h.write_u64(mcm_count as u64);
-    match load {
-        ScenarioLoad::Pattern(pattern) => {
-            h.write_str(&pattern.label());
-            h.write_u64(pattern.demand_gbps().to_bits());
-        }
-        ScenarioLoad::Timeline(tc) => {
-            h.write_str("timeline:");
-            h.write_str(&tc.timeline.spec_label());
-        }
-    }
-    h.write_u64(replicate as u64);
-    h.finish()
-}
-
-struct Fnv1a(u64);
-
-impl Fnv1a {
-    fn new(base: u64) -> Self {
-        let mut h = Fnv1a(0xCBF2_9CE4_8422_2325);
-        h.write_u64(base);
-        h
-    }
-
-    fn write_u64(&mut self, v: u64) {
-        for byte in v.to_le_bytes() {
-            self.0 ^= byte as u64;
-            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
-        }
-    }
-
-    fn write_str(&mut self, s: &str) {
-        for byte in s.as_bytes() {
-            self.0 ^= *byte as u64;
-            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
-        }
-    }
-
-    fn finish(&self) -> u64 {
-        self.0
-    }
-}
+pub use exec::{configure_threads, parallel_map, StreamConfig};
+pub use grid::{ScenarioIter, SweepGrid};
+pub use scenario::{fabric_kind_label, Scenario, ScenarioLoad, ScenarioResult, TimelineCase};
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::energy::{EnergyConfig, EnergyMode};
+    use fabric::{FabricKind, ReallocationPolicy};
+    use workloads::{DemandTimeline, TrafficPattern};
 
     fn small_grid() -> SweepGrid {
         SweepGrid::named("test")
@@ -965,6 +176,164 @@ mod tests {
     }
 
     #[test]
+    fn runs_are_byte_identical_across_thread_counts() {
+        let grid = small_grid().replicates(3);
+        let reference = rayon::with_max_threads(1, || grid.run().to_json());
+        for threads in [2, 8] {
+            let json = rayon::with_max_threads(threads, || grid.run().to_json());
+            assert_eq!(json, reference, "drift at {threads} threads");
+        }
+    }
+
+    /// The pre-refactor nested-loop expansion, reimplemented verbatim as an
+    /// independent oracle: `expand()` is now `scenarios().collect()`, so
+    /// comparing the iterator against itself would prove nothing about the
+    /// mixed-radix decode order.
+    fn legacy_nested_loop_expand(grid: &SweepGrid) -> Vec<Scenario> {
+        use super::scenario::scenario_seed;
+        let loads = grid.loads();
+        let energy_axis: Vec<Option<EnergyMode>> = if grid.energy_modes.is_empty() {
+            vec![None]
+        } else {
+            grid.energy_modes.iter().copied().map(Some).collect()
+        };
+        let mut scenarios = Vec::new();
+        for &kind in &grid.fabric_kinds {
+            for &mcm_count in &grid.mcm_counts {
+                for &fibers_per_mcm in &grid.fibers_per_mcm {
+                    for &wavelengths_per_fiber in &grid.wavelengths_per_fiber {
+                        for &gbps in &grid.gbps_per_wavelength {
+                            for &fec in &grid.fec_configs {
+                                for load in &loads {
+                                    for &latency in &grid.direct_latencies_ns {
+                                        for &energy_mode in &energy_axis {
+                                            for replicate in 0..grid.replicates.max(1) {
+                                                scenarios.push(Scenario {
+                                                    index: scenarios.len(),
+                                                    fabric: fabric::RackFabricConfig {
+                                                        mcm_count,
+                                                        fibers_per_mcm,
+                                                        wavelengths_per_fiber,
+                                                        gbps_per_wavelength: gbps
+                                                            * (1.0 - fec.bandwidth_overhead),
+                                                        kind,
+                                                    },
+                                                    fec,
+                                                    load: load.clone(),
+                                                    direct_latency_ns: latency,
+                                                    energy_mode,
+                                                    replicate,
+                                                    seed: scenario_seed(
+                                                        grid.base_seed,
+                                                        mcm_count,
+                                                        load,
+                                                        replicate,
+                                                    ),
+                                                });
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        scenarios
+    }
+
+    #[test]
+    fn scenario_iter_decodes_every_index_like_the_legacy_nested_loops() {
+        let grid = small_grid()
+            .fabric_kinds([FabricKind::ParallelAwgrs, FabricKind::WaveSelective])
+            .fibers_per_mcm([16, 32])
+            .energy_modes([EnergyMode::AlwaysOn, EnergyMode::UtilizationScaled])
+            .replicates(2);
+        let oracle = legacy_nested_loop_expand(&grid);
+        assert_eq!(oracle.len(), grid.scenario_count());
+        let iter = grid.scenarios();
+        assert_eq!(iter.len(), oracle.len());
+        for (i, expected) in oracle.iter().enumerate() {
+            assert_eq!(&iter.get(i).unwrap(), expected, "decode mismatch at {i}");
+        }
+        assert_eq!(grid.expand(), oracle);
+        assert!(iter.get(oracle.len()).is_none());
+    }
+
+    #[test]
+    fn scenario_iter_random_access_handles_million_row_grids() {
+        // 2 mcms x 2 patterns x 2 latencies x 125k replicates = 1M rows,
+        // decoded O(1) without materializing anything.
+        let grid = small_grid().replicates(125_000);
+        let scenarios = grid.scenarios();
+        assert_eq!(scenarios.len(), 1_000_000);
+        let last = scenarios.get(999_999).unwrap();
+        assert_eq!(last.index, 999_999);
+        assert_eq!(last.replicate, 124_999);
+        assert_eq!(last.fabric.mcm_count, 24);
+        // Replicate is the innermost axis: consecutive indices differ only
+        // in replicate until the axis wraps.
+        let a = scenarios.get(500_000).unwrap();
+        let b = scenarios.get(500_001).unwrap();
+        assert_eq!(a.fabric, b.fabric);
+        assert_eq!(a.load, b.load);
+        assert_eq!(a.replicate + 1, b.replicate);
+    }
+
+    #[test]
+    fn streaming_with_tiny_batches_matches_materialized_run() {
+        let grid = small_grid()
+            .energy_modes([EnergyMode::AlwaysOn])
+            .replicates(2);
+        let reference = grid.run();
+        let streamed = grid.run_streaming(&StreamConfig {
+            batch_size: 3,
+            row_cap: None,
+        });
+        assert_eq!(streamed.to_json(), reference.to_json());
+    }
+
+    #[test]
+    fn row_cap_truncates_rows_but_aggregates_everything() {
+        let grid = small_grid().energy_modes([EnergyMode::AlwaysOn]);
+        let reference = grid.run();
+        let capped = grid.run_streaming(&StreamConfig::with_row_cap(2));
+        assert_eq!(capped.rows.len(), 2);
+        assert_eq!(capped.energy.len(), 2);
+        assert_eq!(capped.rows[..], reference.rows[..2]);
+        assert_eq!(capped.summary, reference.summary);
+        assert_eq!(capped.summary_metric("scenarios"), Some(8.0));
+    }
+
+    #[test]
+    fn sharded_emission_reassembles_into_the_full_report() {
+        let grid = small_grid().replicates(2); // 16 rows
+        let reference = grid.run();
+        let mut shards: Vec<crate::report::SweepReport> = Vec::new();
+        let master = grid.run_sharded(&StreamConfig::default(), 5, &mut |shard| shards.push(shard));
+        assert_eq!(shards.len(), 4, "16 rows in shards of 5");
+        assert_eq!(shards[0].name, "test.shard0");
+        assert_eq!(shards[3].rows.len(), 1);
+        let reassembled: Vec<_> = shards.iter().flat_map(|s| s.rows.clone()).collect();
+        assert_eq!(reassembled, reference.rows);
+        assert_eq!(master.summary, reference.summary);
+        assert!(master.rows.is_empty());
+    }
+
+    #[test]
+    fn sharded_emission_respects_the_row_cap() {
+        let grid = small_grid().replicates(2); // 16 rows
+        let mut shards: Vec<crate::report::SweepReport> = Vec::new();
+        let config = StreamConfig::with_row_cap(7);
+        let master = grid.run_sharded(&config, 3, &mut |shard| shards.push(shard));
+        let emitted: usize = shards.iter().map(|s| s.rows.len()).sum();
+        assert_eq!(emitted, 7, "row cap bounds the total across shards");
+        // The summary still aggregates every executed scenario.
+        assert_eq!(master.summary_metric("scenarios"), Some(16.0));
+    }
+
+    #[test]
     fn fabrics_are_memoized_across_scenarios() {
         // 8 scenarios, but only 2 distinct topologies (16 and 24 MCMs).
         let grid = small_grid();
@@ -1012,6 +381,20 @@ mod tests {
         let items: Vec<u32> = (0..100).collect();
         let doubled = parallel_map(&items, |x| x * 2);
         assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_propagates_panics() {
+        let items: Vec<u32> = (0..64).collect();
+        let result = std::panic::catch_unwind(|| {
+            rayon::with_max_threads(4, || {
+                parallel_map(&items, |&x| {
+                    assert!(x != 42, "scenario 42 exploded");
+                    x
+                })
+            })
+        });
+        assert!(result.is_err(), "worker panic must reach the caller");
     }
 
     fn timeline_grid() -> SweepGrid {

@@ -97,3 +97,43 @@ fn energy_smoke_json_matches_golden() {
 fn table3_json_matches_golden() {
     check("table3", artifacts::table3().report.to_json());
 }
+
+#[test]
+fn golden_fixtures_are_byte_identical_at_1_2_and_8_threads() {
+    // The execution layer's central claim: thread count never reaches the
+    // output bytes. Regenerate every debug-runnable fixture under scoped
+    // 1-, 2- and 8-thread caps and hold each against the checked-in golden
+    // file (the two CPU-experiment fixtures have their own release-only
+    // test below).
+    for threads in [1, 2, 8] {
+        rayon::with_max_threads(threads, || {
+            for (name, json) in [
+                ("table1", artifacts::table1().report.to_json()),
+                ("table3", artifacts::table3().report.to_json()),
+                ("fig9", artifacts::fig9().report.to_json()),
+                ("fig10", artifacts::fig10().report.to_json()),
+                (
+                    "power_overhead",
+                    artifacts::power_overhead().report.to_json(),
+                ),
+                ("energy_smoke", artifacts::energy_smoke().report.to_json()),
+            ] {
+                check(name, json);
+            }
+        });
+    }
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "three full CPU experiments; too slow unoptimized — covered by the release-mode CI step"
+)]
+fn cpu_experiment_fixtures_are_byte_identical_at_1_2_and_8_threads() {
+    for threads in [1, 2, 8] {
+        rayon::with_max_threads(threads, || {
+            check("fig7", artifacts::fig7().report.to_json());
+            check("fig11", artifacts::fig11().report.to_json());
+        });
+    }
+}

@@ -1,0 +1,187 @@
+//! The parallel-iterator types returned by the prelude traits.
+//!
+//! Only the adaptor surface this workspace uses is implemented: `map` +
+//! `collect` on borrowed slices ([`ParSlice`]) and owned sequences
+//! ([`ParVec`]), plus `sum` and `for_each`. Mapping fans out through
+//! [`pool::run`]; reductions (`sum`) fold the mapped results *sequentially
+//! on the caller's thread* so floating-point results stay byte-identical
+//! to a serial run — the workspace's determinism contract.
+
+use crate::pool;
+
+/// Parallel iterator over `&[T]` (from
+/// [`par_iter`](crate::prelude::IntoParallelRefIterator::par_iter)).
+pub struct ParSlice<'a, T> {
+    pub(crate) items: &'a [T],
+}
+
+impl<'a, T: Sync> ParSlice<'a, T> {
+    /// Map every item through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParSliceMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParSliceMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Run `f` on every item (parallel, no results).
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        pool::run(self.items.len(), |i| f(&self.items[i]));
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the underlying slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// A mapped [`ParSlice`], ready to collect.
+pub struct ParSliceMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, R, F> ParSliceMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    /// Execute the map across the pool, preserving input order.
+    pub fn collect<C: FromParallelIterator<R>>(self) -> C {
+        C::from_ordered_vec(pool::run(self.items.len(), |i| (self.f)(&self.items[i])))
+    }
+
+    /// Execute the map and fold the results sequentially (deterministic
+    /// for floating-point sums).
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<R>,
+    {
+        pool::run(self.items.len(), |i| (self.f)(&self.items[i]))
+            .into_iter()
+            .sum()
+    }
+}
+
+/// Parallel iterator over an owned sequence (from
+/// [`into_par_iter`](crate::prelude::IntoParallelIterator::into_par_iter)).
+pub struct ParVec<T> {
+    pub(crate) items: Vec<T>,
+}
+
+impl<T: Send + Sync> ParVec<T> {
+    /// Map every item through `f` in parallel. Items are moved into `f`
+    /// chunk by chunk.
+    pub fn map<R, F>(self, f: F) -> ParVecMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParVecMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Sum the items on the caller's thread (sequential by design: see the
+    /// module docs).
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<T>,
+    {
+        self.items.into_iter().sum()
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// A mapped [`ParVec`], ready to collect.
+pub struct ParVecMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, R, F> ParVecMap<T, F>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    /// Execute the map across the pool, preserving input order.
+    ///
+    /// Ownership transfer without `unsafe`: the items are pre-split into
+    /// per-chunk vectors behind `Mutex<Option<..>>` cells that each worker
+    /// `take`s exactly once.
+    pub fn collect<C: FromParallelIterator<R>>(self) -> C {
+        let len = self.items.len();
+        if len == 0 {
+            return C::from_ordered_vec(Vec::new());
+        }
+        let threads = pool::current_num_threads();
+        let chunk = (len / (threads * 8)).max(1);
+        // Split chunks off the *back* (O(chunk) each) and reverse, rather
+        // than off the front (which would recopy the whole tail per chunk).
+        let mut chunks: Vec<std::sync::Mutex<Option<Vec<T>>>> = Vec::with_capacity(len / chunk + 1);
+        let mut items = self.items;
+        while items.len() > chunk {
+            let tail = items.split_off(items.len() - chunk);
+            chunks.push(std::sync::Mutex::new(Some(tail)));
+        }
+        chunks.push(std::sync::Mutex::new(Some(items)));
+        chunks.reverse();
+        let f = &self.f;
+        let mapped: Vec<Vec<R>> = pool::run(chunks.len(), |i| {
+            let chunk = chunks[i].lock().unwrap().take().expect("chunk taken once");
+            chunk.into_iter().map(f).collect()
+        });
+        let mut out = Vec::with_capacity(len);
+        for part in mapped {
+            out.extend(part);
+        }
+        C::from_ordered_vec(out)
+    }
+
+    /// Execute the map and fold the results sequentially (deterministic
+    /// for floating-point sums).
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<R>,
+    {
+        let v: Vec<R> = self.collect();
+        v.into_iter().sum()
+    }
+}
+
+/// Collections a parallel map can land in (the stand-in for rayon's
+/// `FromParallelIterator`). The input vector is already in source order.
+pub trait FromParallelIterator<R> {
+    /// Build the collection from the ordered mapped results.
+    fn from_ordered_vec(v: Vec<R>) -> Self;
+}
+
+impl<R> FromParallelIterator<R> for Vec<R> {
+    fn from_ordered_vec(v: Vec<R>) -> Self {
+        v
+    }
+}

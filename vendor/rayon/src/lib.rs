@@ -1,60 +1,78 @@
-//! Sequential stand-in for the subset of `rayon` this workspace uses.
+//! Offline stand-in for the subset of `rayon` this workspace uses —
+//! **really parallel** since the execution-layer rebuild.
 //!
-//! The build environment has no access to crates.io, so `par_iter()` here
-//! returns the ordinary sequential slice iterator: every adaptor
-//! (`map`, `filter`, `collect`, ...) keeps working and results are identical,
-//! just not parallel. When the real rayon is available again, repointing
-//! `[workspace.dependencies] rayon` at crates.io restores parallelism with no
-//! source changes in the experiment drivers.
+//! The build environment has no access to crates.io, so this crate
+//! reimplements the `par_iter()` / `into_par_iter()` prelude surface on a
+//! `std::thread`-based chunk-stealing pool (see [`pool`]): workers claim
+//! chunks of the index space from a shared atomic cursor, results are
+//! reassembled in input order, and panics propagate to the caller with
+//! their original payload. Reductions (`sum`) fold sequentially on the
+//! caller's thread, so numeric results — floating point included — are
+//! byte-identical to a serial run at any thread count.
+//!
+//! Thread-count control, in precedence order:
+//!
+//! 1. [`with_max_threads`] — a scoped per-thread cap (tests, benchmarks);
+//! 2. [`ThreadPoolBuilder::build_global`] — the process-wide setting a
+//!    binary fixes once at startup (e.g. from `--threads` / `PD_THREADS`);
+//! 3. [`std::thread::available_parallelism`] — the default.
+//!
+//! Repointing `[workspace.dependencies] rayon` at crates.io restores the
+//! real rayon with no source changes in the experiment drivers: everything
+//! here keeps rayon's names and semantics (modulo the sequential-`sum`
+//! determinism guarantee, which real rayon does not make).
+
+#![forbid(unsafe_code)]
+
+pub mod iter;
+pub mod pool;
+
+pub use pool::{current_num_threads, with_max_threads, ThreadPoolBuildError, ThreadPoolBuilder};
 
 pub mod prelude {
-    //! Parallel-iterator extension traits (sequential here).
+    //! Parallel-iterator extension traits.
 
-    /// Sequential replacement for `rayon::iter::IntoParallelRefIterator`.
+    use crate::iter::{ParSlice, ParVec};
+
+    pub use crate::iter::FromParallelIterator;
+
+    /// Replacement for `rayon::iter::IntoParallelRefIterator`.
     pub trait IntoParallelRefIterator<'data> {
-        /// The iterator type returned by [`par_iter`](Self::par_iter).
-        type Iter: Iterator;
+        /// The element type iterated by reference.
+        type Item: 'data;
 
-        /// Returns a (sequential) iterator over `&self`'s items.
-        fn par_iter(&'data self) -> Self::Iter;
+        /// Returns a parallel iterator over `&self`'s items.
+        fn par_iter(&'data self) -> ParSlice<'data, Self::Item>;
     }
 
-    impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
-        type Iter = std::slice::Iter<'data, T>;
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+        type Item = T;
 
-        fn par_iter(&'data self) -> Self::Iter {
-            self.iter()
+        fn par_iter(&'data self) -> ParSlice<'data, T> {
+            ParSlice { items: self }
         }
     }
 
-    /// Sequential replacement for `rayon::iter::IntoParallelIterator`.
+    /// Replacement for `rayon::iter::IntoParallelIterator`.
     pub trait IntoParallelIterator {
-        /// The iterator type returned by [`into_par_iter`](Self::into_par_iter).
-        type Iter: Iterator;
+        /// The element type iterated by value.
+        type Item: Send;
 
-        /// Consumes `self`, returning a (sequential) iterator over its items.
-        fn into_par_iter(self) -> Self::Iter;
+        /// Consumes `self`, returning a parallel iterator over its items.
+        fn into_par_iter(self) -> ParVec<Self::Item>;
     }
 
-    impl<I: IntoIterator> IntoParallelIterator for I {
-        type Iter = I::IntoIter;
+    impl<I> IntoParallelIterator for I
+    where
+        I: IntoIterator,
+        I::Item: Send,
+    {
+        type Item = I::Item;
 
-        fn into_par_iter(self) -> Self::Iter {
-            self.into_iter()
+        fn into_par_iter(self) -> ParVec<I::Item> {
+            ParVec {
+                items: self.into_iter().collect(),
+            }
         }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::prelude::*;
-
-    #[test]
-    fn par_iter_matches_iter() {
-        let v = [1u32, 2, 3, 4];
-        let doubled: Vec<u32> = v.par_iter().map(|x| x * 2).collect();
-        assert_eq!(doubled, vec![2, 4, 6, 8]);
-        let sum: u32 = (1u32..=4).into_par_iter().sum();
-        assert_eq!(sum, 10);
     }
 }

@@ -1,0 +1,208 @@
+//! The chunk-stealing execution core behind the parallel iterators.
+//!
+//! [`run`] executes `f(0..len)` across worker threads and returns the
+//! results in input order. Workers are materialized per call with
+//! [`std::thread::scope`] (so borrowed data crosses thread boundaries
+//! without `unsafe`) and *steal chunks* of the index space from a shared
+//! atomic cursor: a worker that finishes its chunk immediately claims the
+//! next unclaimed one, so uneven per-item cost load-balances itself.
+//!
+//! Guarantees, in order of importance:
+//!
+//! * **Order preservation** — the returned `Vec` is exactly
+//!   `(0..len).map(f).collect()`, whatever the interleaving of workers.
+//! * **Byte-identical to serial** — `f` is called exactly once per index
+//!   and results are reassembled by chunk offset; no reduction reorders
+//!   floating-point operations.
+//! * **Panic propagation** — a panic in `f` on any worker poisons the
+//!   cursor (stopping further claims), is carried back to the caller, and
+//!   resumed there with the original payload.
+//! * **Nested calls** — a worker may itself call [`run`] (directly or via
+//!   `par_iter`); the nested call simply materializes its own scope. No
+//!   global queue exists, so nesting cannot deadlock.
+//! * **Single-thread fallback** — with one configured thread (or one item)
+//!   the call degenerates to a plain sequential loop on the caller's
+//!   stack: no threads, no atomics.
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Thread count configured by [`ThreadPoolBuilder::build_global`]; read
+/// once, before the first parallel call.
+static GLOBAL_THREADS: OnceLock<usize> = OnceLock::new();
+
+thread_local! {
+    /// Per-thread override installed by [`with_max_threads`].
+    static MAX_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Error returned when [`ThreadPoolBuilder::build_global`] is called after
+/// the global thread count is already fixed (mirrors rayon's
+/// `ThreadPoolBuildError`).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("the global thread pool has already been initialized")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for the global thread count (the subset of rayon's
+/// `ThreadPoolBuilder` this workspace uses).
+///
+/// ```
+/// // Usually called once at binary startup; later calls fail.
+/// let _ = rayon::ThreadPoolBuilder::new().num_threads(2).build_global();
+/// assert!(rayon::current_num_threads() >= 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// New builder; without [`num_threads`](Self::num_threads) the pool
+    /// sizes itself to [`std::thread::available_parallelism`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the number of worker threads (0 means "available parallelism",
+    /// as in rayon).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Fix the global thread count. Errs if already fixed.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        let n = match self.num_threads {
+            Some(0) | None => default_parallelism(),
+            Some(n) => n,
+        };
+        GLOBAL_THREADS
+            .set(n.max(1))
+            .map_err(|_| ThreadPoolBuildError)
+    }
+}
+
+fn default_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The number of threads parallel calls on this thread will use: the
+/// [`with_max_threads`] override if one is installed, else the
+/// [`ThreadPoolBuilder::build_global`] setting, else available parallelism.
+pub fn current_num_threads() -> usize {
+    if let Some(n) = MAX_THREADS.with(|m| m.get()) {
+        return n.max(1);
+    }
+    *GLOBAL_THREADS.get_or_init(default_parallelism)
+}
+
+/// Run `f` with parallel calls issued from this thread capped at `n`
+/// threads, restoring the previous cap afterwards (also on panic).
+///
+/// This is how tests pin a deterministic thread count without touching the
+/// process-wide setting, and how benchmarks compare 1-thread vs N-thread
+/// wall-clock on the same grid in one process.
+///
+/// ```
+/// use rayon::prelude::*;
+/// let v = [1u32, 2, 3];
+/// let doubled: Vec<u32> =
+///     rayon::with_max_threads(1, || v.par_iter().map(|x| x * 2).collect());
+/// assert_eq!(doubled, vec![2, 4, 6]);
+/// ```
+pub fn with_max_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            MAX_THREADS.with(|m| m.set(self.0));
+        }
+    }
+    let _restore = Restore(MAX_THREADS.with(|m| m.replace(Some(n.max(1)))));
+    f()
+}
+
+/// Execute `f(i)` for every `i in 0..len` and return the results in index
+/// order. See the module docs for the guarantees.
+pub fn run<R, F>(len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let configured = current_num_threads();
+    let threads = configured.min(len.max(1));
+    if threads <= 1 || len <= 1 {
+        return (0..len).map(f).collect();
+    }
+
+    // Small chunks relative to the thread count so stealing load-balances
+    // uneven items; each claim is one fetch_add.
+    let chunk = (len / (threads * 8)).max(1);
+    let cursor = AtomicUsize::new(0);
+    let poisoned = AtomicBool::new(false);
+    let completed: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::with_capacity(len / chunk + 1));
+    let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+
+    let worker = || {
+        while !poisoned.load(Ordering::Relaxed) {
+            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+            if start >= len {
+                break;
+            }
+            let end = (start + chunk).min(len);
+            let mut out = Vec::with_capacity(end - start);
+            let status = catch_unwind(AssertUnwindSafe(|| {
+                for i in start..end {
+                    out.push(f(i));
+                }
+            }));
+            match status {
+                Ok(()) => completed.lock().unwrap().push((start, out)),
+                Err(payload) => {
+                    // Stop the other workers from claiming further chunks
+                    // and keep the first payload for the caller.
+                    poisoned.store(true, Ordering::Relaxed);
+                    panic_payload.lock().unwrap().get_or_insert(payload);
+                    break;
+                }
+            }
+        }
+    };
+
+    std::thread::scope(|s| {
+        for _ in 0..threads - 1 {
+            // Workers inherit the caller's configured count (not the
+            // len-capped one), so nested parallel calls on a worker respect
+            // a `with_max_threads` cap instead of falling back to the
+            // process-wide default.
+            s.spawn(|| with_max_threads(configured, worker));
+        }
+        // The caller is a full member of the pool: it steals chunks like
+        // every spawned worker, so a nested `run` on a worker thread makes
+        // progress even if all other threads are busy.
+        worker();
+    });
+
+    if let Some(payload) = panic_payload.into_inner().unwrap() {
+        resume_unwind(payload);
+    }
+
+    let mut chunks = completed.into_inner().unwrap();
+    chunks.sort_unstable_by_key(|(start, _)| *start);
+    let mut results = Vec::with_capacity(len);
+    for (_, mut part) in chunks {
+        results.append(&mut part);
+    }
+    debug_assert_eq!(results.len(), len);
+    results
+}

@@ -1,0 +1,145 @@
+//! Semantics tests for the chunk-stealing pool and the prelude surface:
+//! order preservation, panic propagation, nesting, empty input, and the
+//! single-thread fallback.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use rayon::prelude::*;
+use rayon::{pool, with_max_threads};
+
+#[test]
+fn par_iter_matches_iter() {
+    let v = [1u32, 2, 3, 4];
+    let doubled: Vec<u32> = v.par_iter().map(|x| x * 2).collect();
+    assert_eq!(doubled, vec![2, 4, 6, 8]);
+    let sum: u32 = (1u32..=4).into_par_iter().sum();
+    assert_eq!(sum, 10);
+}
+
+#[test]
+fn order_is_preserved_at_every_thread_count() {
+    let items: Vec<usize> = (0..10_000).collect();
+    let expected: Vec<usize> = items.iter().map(|x| x * 3).collect();
+    for threads in [1, 2, 3, 8, 64] {
+        let got: Vec<usize> =
+            with_max_threads(threads, || items.par_iter().map(|x| x * 3).collect());
+        assert_eq!(got, expected, "order broke at {threads} threads");
+    }
+}
+
+#[test]
+fn every_index_runs_exactly_once() {
+    let len = 5000;
+    let counts: Vec<AtomicUsize> = (0..len).map(|_| AtomicUsize::new(0)).collect();
+    with_max_threads(8, || {
+        pool::run(len, |i| counts[i].fetch_add(1, Ordering::Relaxed));
+    });
+    assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+}
+
+#[test]
+fn empty_input_yields_empty_output() {
+    let items: [u32; 0] = [];
+    let out: Vec<u32> = items.par_iter().map(|x| x + 1).collect();
+    assert!(out.is_empty());
+    let out: Vec<u32> = Vec::<u32>::new().into_par_iter().map(|x| x + 1).collect();
+    assert!(out.is_empty());
+    assert_eq!(pool::run(0, |i| i).len(), 0);
+}
+
+#[test]
+fn single_thread_cap_falls_back_to_sequential() {
+    // With one thread the pool must not spawn: results come back in order
+    // from a plain loop (observable through strictly increasing indices).
+    let seen = std::sync::Mutex::new(Vec::new());
+    with_max_threads(1, || {
+        pool::run(100, |i| seen.lock().unwrap().push(i));
+    });
+    let seen = seen.into_inner().unwrap();
+    assert_eq!(seen, (0..100).collect::<Vec<_>>());
+}
+
+#[test]
+fn panics_propagate_with_their_payload() {
+    let result = std::panic::catch_unwind(|| {
+        with_max_threads(4, || {
+            pool::run(1000, |i| {
+                if i == 617 {
+                    panic!("boom at {i}");
+                }
+                i
+            })
+        })
+    });
+    let payload = result.expect_err("panic must propagate");
+    let msg = payload
+        .downcast_ref::<String>()
+        .expect("payload must survive the pool");
+    assert_eq!(msg, "boom at 617");
+}
+
+#[test]
+fn nested_parallel_maps_complete() {
+    let outer: Vec<usize> = (0..16).collect();
+    let got: Vec<usize> = with_max_threads(4, || {
+        outer
+            .par_iter()
+            .map(|&i| {
+                let inner: Vec<usize> = (0..50usize).collect();
+                let inner_sum: Vec<usize> = inner.par_iter().map(|&j| i * j).collect();
+                inner_sum.iter().sum()
+            })
+            .collect()
+    });
+    let expected: Vec<usize> = (0..16).map(|i| (0..50).map(|j| i * j).sum()).collect();
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn owned_map_moves_items_in_order() {
+    let items: Vec<String> = (0..500).map(|i| i.to_string()).collect();
+    let got: Vec<usize> = with_max_threads(4, || {
+        items.clone().into_par_iter().map(|s| s.len()).collect()
+    });
+    let expected: Vec<usize> = items.iter().map(|s| s.len()).collect();
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn float_sums_are_byte_identical_to_serial() {
+    // The shim's determinism guarantee: reductions fold sequentially, so
+    // parallel and serial sums agree bitwise even for floats.
+    let items: Vec<f64> = (0..10_000).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+    let serial: f64 = items.iter().map(|x| x * 1.5).sum();
+    for threads in [1, 2, 8] {
+        let parallel: f64 = with_max_threads(threads, || items.par_iter().map(|x| x * 1.5).sum());
+        assert_eq!(serial.to_bits(), parallel.to_bits());
+    }
+}
+
+#[test]
+fn nested_calls_inherit_the_thread_cap() {
+    // Workers inherit the caller's configured count, so a nested parallel
+    // call inside a capped region stays capped instead of falling back to
+    // the process-wide default.
+    let observed = std::sync::Mutex::new(Vec::new());
+    with_max_threads(3, || {
+        pool::run(64, |_| {
+            observed.lock().unwrap().push(rayon::current_num_threads());
+        });
+    });
+    let observed = observed.into_inner().unwrap();
+    assert_eq!(observed.len(), 64);
+    assert!(observed.iter().all(|&n| n == 3), "{observed:?}");
+}
+
+#[test]
+fn with_max_threads_restores_on_exit() {
+    let before = rayon::current_num_threads();
+    with_max_threads(3, || {
+        assert_eq!(rayon::current_num_threads(), 3);
+        with_max_threads(1, || assert_eq!(rayon::current_num_threads(), 1));
+        assert_eq!(rayon::current_num_threads(), 3);
+    });
+    assert_eq!(rayon::current_num_threads(), before);
+}
