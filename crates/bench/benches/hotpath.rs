@@ -1,0 +1,183 @@
+//! Hot-path micro-benchmarks: the four kernels the sweep engine spends its
+//! time in, grouped so the criterion shim's `PD_BENCH_DIR` writer emits one
+//! trajectory snapshot per group (`BENCH_flowsim.json`,
+//! `BENCH_timeline.json`, `BENCH_decode.json`, `BENCH_grid.json`).
+//!
+//! Each group pairs the allocating entry point with its arena-reusing
+//! counterpart (or, for the timeline, the incremental solver with the
+//! exhaustive oracle), so a regression in either the steady-state path or
+//! the reuse machinery shows up as a relative shift inside the same file.
+//! `docs/PERFORMANCE.md` explains how to run these and read the snapshots.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use disagg_core::sweep::SweepGrid;
+use fabric::flowsim::{Flow, FlowArena, FlowSimConfig, FlowSimulator};
+use fabric::rackfabric::{FabricKind, RackFabric, RackFabricConfig};
+use fabric::timeline::{ReallocationPolicy, TimelineArena, TimelineConfig, TimelineSimulator};
+use workloads::timeline::DemandTimeline;
+use workloads::TrafficPattern;
+
+/// A fabric at `mcm_count` MCMs with the paper's per-MCM link provisioning.
+fn fabric_with(mcm_count: u32, kind: FabricKind) -> RackFabric {
+    RackFabric::new(RackFabricConfig {
+        mcm_count,
+        ..RackFabricConfig::paper_rack(kind)
+    })
+}
+
+/// `FlowSimulator::run` vs `run_in` with a warm [`FlowArena`]: the per-call
+/// cost of the wavelength allocator, with and without steady-state reuse.
+fn bench_flowsim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flowsim");
+    let fabric = RackFabric::paper_awgr();
+    for (label, pattern) in [
+        (
+            "permutation_350mcm",
+            TrafficPattern::Permutation { demand_gbps: 600.0 },
+        ),
+        (
+            "hotspot8_350mcm",
+            TrafficPattern::HotSpot {
+                hot_mcms: 8,
+                demand_gbps: 500.0,
+            },
+        ),
+    ] {
+        let flows = pattern.flows(350, 7);
+        g.bench_with_input(
+            BenchmarkId::new("run_alloc", label),
+            &flows,
+            |b, flows: &Vec<Flow>| {
+                let sim = FlowSimulator::new(&fabric, FlowSimConfig::default());
+                b.iter(|| sim.run(flows))
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("run_in_arena", label),
+            &flows,
+            |b, flows: &Vec<Flow>| {
+                let sim = FlowSimulator::new(&fabric, FlowSimConfig::default());
+                let mut arena = FlowArena::new();
+                b.iter(|| {
+                    let report = sim.run_in(&mut arena, flows);
+                    arena.recycle(report)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+/// `TimelineSimulator` across the canned schedules: the incremental solver
+/// (`run` / warm-arena `run_in`) against the exhaustive re-solve oracle.
+fn bench_timeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("timeline");
+    g.sample_size(10);
+    let fabric = fabric_with(64, FabricKind::ParallelAwgrs);
+    let epochs = DemandTimeline::shifting_hotspot(8, 400.0, 4, 3, 8).epoch_matrices(64, 11);
+    for (label, policy) in [
+        ("static", ReallocationPolicy::Static),
+        ("greedy", ReallocationPolicy::GreedyResteer),
+        (
+            "hysteresis90",
+            ReallocationPolicy::Hysteresis {
+                min_satisfaction: 0.9,
+            },
+        ),
+    ] {
+        let config = TimelineConfig {
+            policy,
+            ..TimelineConfig::default()
+        };
+        g.bench_with_input(
+            BenchmarkId::new("incremental", label),
+            &epochs,
+            |b, epochs: &Vec<Vec<Flow>>| {
+                let sim = TimelineSimulator::new(&fabric, config);
+                let mut arena = TimelineArena::new();
+                b.iter(|| {
+                    let report = sim.run_in(&mut arena, epochs);
+                    arena.recycle(report)
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("exhaustive_oracle", label),
+            &epochs,
+            |b, epochs: &Vec<Vec<Flow>>| {
+                let sim = TimelineSimulator::new(&fabric, config);
+                b.iter(|| sim.run_exhaustive(epochs))
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Scenario decode: expanding a grid's cartesian axes into [`Scenario`]
+/// values and generating each pattern's flow list — the sweep's per-scenario
+/// setup cost before any fabric work runs.
+fn bench_decode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("decode");
+    let grid = reference_grid(350, 32);
+    g.bench_function("scenario_iter_reference_grid", |b| {
+        b.iter(|| grid.scenarios().count())
+    });
+    for (label, pattern) in [
+        (
+            "alltoall8_350mcm",
+            TrafficPattern::AllToAll { demand_gbps: 8.0 },
+        ),
+        (
+            "permutation_350mcm",
+            TrafficPattern::Permutation { demand_gbps: 600.0 },
+        ),
+    ] {
+        g.bench_with_input(
+            BenchmarkId::new("pattern_flows", label),
+            &pattern,
+            |b, pattern: &TrafficPattern| b.iter(|| pattern.flows(350, 7)),
+        );
+    }
+    g.finish();
+}
+
+/// The same axes `sweep --bench` times, parameterized so the micro-bench
+/// copy stays small enough for the shim's per-bench budget.
+fn reference_grid(mcms: u32, replicates: u32) -> SweepGrid {
+    SweepGrid::named("bench-reference")
+        .mcm_counts([mcms])
+        .fabric_kinds([FabricKind::ParallelAwgrs, FabricKind::WaveSelective])
+        .patterns([
+            TrafficPattern::AllToAll { demand_gbps: 8.0 },
+            TrafficPattern::Permutation { demand_gbps: 600.0 },
+            TrafficPattern::HotSpot {
+                hot_mcms: 8,
+                demand_gbps: 500.0,
+            },
+        ])
+        .direct_latencies_ns([35.0])
+        .replicates(replicates)
+}
+
+/// End-to-end sweep over a scaled-down reference grid (64 MCMs, 4
+/// replicates = 24 scenarios): decode + memoized fabric builds + flow
+/// solves + fold, through the same executor `sweep --bench` exercises at
+/// full scale.
+fn bench_grid(c: &mut Criterion) {
+    let mut g = c.benchmark_group("grid");
+    g.sample_size(10);
+    let grid = reference_grid(64, 4);
+    g.bench_function("reference_grid_64mcm_serial", |b| {
+        b.iter(|| rayon::with_max_threads(1, || grid.run()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    hotpath,
+    bench_flowsim,
+    bench_timeline,
+    bench_decode,
+    bench_grid
+);
+criterion_main!(hotpath);

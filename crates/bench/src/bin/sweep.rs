@@ -26,8 +26,12 @@
 //! self-contained report shards of N rows each (one JSON document per line
 //! with `--json`), followed by the summary-only master report.
 //! `--bench FILE` times the fixed reference grid at 1 thread vs the
-//! configured count and writes the wall-clock numbers to FILE
-//! (`BENCH_sweep.json` in CI).
+//! configured count and writes a versioned JSON record (wall clocks,
+//! speedup, `parallel_efficiency` over the effective core count, and
+//! scenarios/sec at both thread counts) to FILE (`BENCH_sweep.json` in
+//! CI). `--bench-floor EFF` fails the run when parallel efficiency lands
+//! below EFF; `--bench-sps-floor SPS` fails it when single-thread
+//! throughput drops below SPS scenarios/sec.
 
 use std::process::exit;
 use std::time::Instant;
@@ -44,7 +48,7 @@ fn usage() -> ! {
          \x20            [--fabric awgr|wave|spatial,..] [--pattern P,..] [--demand GBPS]\n\
          \x20            [--latency NS,..] [--energy always|util,..] [--replicates N]\n\
          \x20            [--seed N] [--threads N] [--row-cap N] [--shard-rows N]\n\
-         \x20            [--bench FILE] [--json]\n\
+         \x20            [--bench FILE] [--bench-floor EFF] [--bench-sps-floor SPS] [--json]\n\
          patterns: uniformN | permutation | hotspotN | neighborN | alltoall"
     );
     exit(2);
@@ -161,8 +165,13 @@ fn bench_reference_grid() -> SweepGrid {
 }
 
 /// Time the reference grid at 1 thread vs `threads`, verify the outputs
-/// are byte-identical, and write the numbers to `path` as one JSON object.
-fn run_bench(path: &str, threads: usize) {
+/// are byte-identical, and write the numbers to `path` as one versioned
+/// JSON object (`"version":2`). `parallel_efficiency` divides the measured
+/// speedup by the *effective* parallelism `min(threads, available_cores)`,
+/// so requesting 8 threads on a 4-core runner is judged against 4. When
+/// set, `efficiency_floor` / `sps_floor` fail the run (exit 1) if
+/// `parallel_efficiency` or `scenarios_per_sec_1_thread` lands below them.
+fn run_bench(path: &str, threads: usize, efficiency_floor: Option<f64>, sps_floor: Option<f64>) {
     let grid = bench_reference_grid();
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     // Brief warm-up (one replicate of the grid) so the timed runs don't
@@ -175,14 +184,22 @@ fn run_bench(path: &str, threads: usize) {
     let parallel = rayon::with_max_threads(threads, || grid.run());
     let parallel_ms = start.elapsed().as_secs_f64() * 1e3;
     let identical = serial.to_json() == parallel.to_json();
+    let scenarios = serial.rows.len();
+    let speedup = serial_ms / parallel_ms;
+    let effective = threads.min(cores).max(1);
+    let efficiency = speedup / effective as f64;
+    let sps_serial = scenarios as f64 / (serial_ms / 1e3);
+    let sps_parallel = scenarios as f64 / (parallel_ms / 1e3);
     let json = format!(
-        "{{\"grid\":\"{}\",\"scenarios\":{},\"available_cores\":{cores},\
+        "{{\"version\":2,\"grid\":\"{}\",\"scenarios\":{scenarios},\
+         \"available_cores\":{cores},\
          \"wall_ms_1_thread\":{serial_ms:.1},\"threads\":{threads},\
-         \"wall_ms_n_threads\":{parallel_ms:.1},\"speedup\":{:.2},\
+         \"wall_ms_n_threads\":{parallel_ms:.1},\"speedup\":{speedup:.2},\
+         \"parallel_efficiency\":{efficiency:.2},\
+         \"scenarios_per_sec_1_thread\":{sps_serial:.1},\
+         \"scenarios_per_sec_n_threads\":{sps_parallel:.1},\
          \"identical_output\":{identical}}}",
         serial.name,
-        serial.rows.len(),
-        serial_ms / parallel_ms,
     );
     std::fs::write(path, format!("{json}\n")).unwrap_or_else(|e| {
         eprintln!("sweep: cannot write {path}: {e}");
@@ -192,6 +209,24 @@ fn run_bench(path: &str, threads: usize) {
     if !identical {
         eprintln!("sweep: parallel output diverged from serial — determinism bug");
         exit(1);
+    }
+    if let Some(floor) = efficiency_floor {
+        if efficiency < floor {
+            eprintln!(
+                "sweep: parallel efficiency {efficiency:.2} below floor {floor} \
+                 (speedup {speedup:.2} over {effective} effective core(s))"
+            );
+            exit(1);
+        }
+    }
+    if let Some(floor) = sps_floor {
+        if sps_serial < floor {
+            eprintln!(
+                "sweep: single-thread throughput {sps_serial:.1} scenarios/s \
+                 below floor {floor}"
+            );
+            exit(1);
+        }
     }
 }
 
@@ -205,6 +240,8 @@ fn main() {
     let mut row_cap: Option<usize> = None;
     let mut shard_rows: Option<usize> = None;
     let mut bench_path: Option<String> = None;
+    let mut bench_floor: Option<f64> = None;
+    let mut bench_sps_floor: Option<f64> = None;
 
     // `--demand` must apply to the patterns no matter the flag order, so
     // patterns are parsed after the full argument scan.
@@ -238,13 +275,15 @@ fn main() {
             "--row-cap" => row_cap = Some(parse_scalar::<usize>(flag, value)),
             "--shard-rows" => shard_rows = Some(parse_scalar::<usize>(flag, value).max(1)),
             "--bench" => bench_path = Some(value.clone()),
+            "--bench-floor" => bench_floor = Some(parse_scalar::<f64>(flag, value)),
+            "--bench-sps-floor" => bench_sps_floor = Some(parse_scalar::<f64>(flag, value)),
             _ => usage(),
         }
         i += 2;
     }
     let threads = configure_threads(threads);
     if let Some(path) = bench_path {
-        run_bench(&path, threads);
+        run_bench(&path, threads, bench_floor, bench_sps_floor);
         return;
     }
     if let Some(spec) = pattern_spec {

@@ -53,7 +53,7 @@ pub use energy::{EnergyConfig, EnergyMode, EnergyModel, EnergyStats};
 pub use gpu_experiments::{run_gpu_experiment, GpuBenchmarkResult, GpuExperimentConfig};
 pub use rack_analysis::RackAnalysis;
 pub use rack_builder::{DisaggregatedRack, RackSummary};
-pub use report::{SweepReport, SweepRow};
+pub use report::{SweepReport, SweepRow, ThroughputStats};
 pub use sweep::{Scenario, ScenarioLoad, ScenarioResult, SweepGrid, TimelineCase};
 
 /// The paper's latency sweep for CPU/GPU studies, in nanoseconds:

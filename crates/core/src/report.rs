@@ -36,6 +36,51 @@ impl SweepRow {
     }
 }
 
+/// Execution-throughput metadata of one sweep run: how many scenarios were
+/// executed, how long the wall clock took, and the resulting scenarios/sec.
+///
+/// This is *measurement* metadata, not a simulation result: it varies run
+/// to run with machine load, so it is deliberately excluded from both
+/// [`SweepReport`] equality and [`SweepReport::to_json`] — the engine's
+/// byte-identical determinism contract is stated over results only. The
+/// `sweep --bench` trajectory (`BENCH_sweep.json`) is where throughput
+/// numbers get versioned.
+///
+/// # Example
+///
+/// ```
+/// use disagg_core::sweep::SweepGrid;
+///
+/// let grid = || SweepGrid::named("t").mcm_counts([16]).replicates(4);
+/// let report = grid().run();
+/// let t = report.throughput.expect("sweep runs measure throughput");
+/// assert_eq!(t.scenarios, 4);
+/// assert!(t.scenarios_per_sec() >= 0.0);
+/// // Wall-clock metadata never affects result equality or the JSON bytes.
+/// assert_eq!(report, grid().run());
+/// assert!(!report.to_json().contains("throughput"));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputStats {
+    /// Scenarios executed (including ones a row cap streamed past).
+    pub scenarios: usize,
+    /// Wall-clock duration of the execution phase in seconds.
+    pub wall_s: f64,
+    /// Thread count the run executed with.
+    pub threads: usize,
+}
+
+impl ThroughputStats {
+    /// Scenarios executed per wall-clock second; `0.0` for an instant run.
+    pub fn scenarios_per_sec(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.scenarios as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+}
+
 /// The unified result schema every sweep and ported paper artifact produces:
 /// a named collection of scenario rows plus report-level summary metrics.
 ///
@@ -43,7 +88,7 @@ impl SweepRow {
 /// `sweep` binary emits it with `--json`, and the determinism contract of
 /// the sweep engine is stated over it (the same grid run twice yields
 /// byte-identical [`SweepReport::to_json`] output).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SweepReport {
     /// Report name (e.g. `"fig9"` or `"sweep"`).
     pub name: String,
@@ -57,6 +102,23 @@ pub struct SweepReport {
     /// grid set an energy axis
     /// ([`SweepGrid::energy_modes`](crate::sweep::SweepGrid::energy_modes)).
     pub energy: Vec<(String, EnergyStats)>,
+    /// Wall-clock throughput of the run that produced this report, when the
+    /// producer measured one (the sweep engine's `run*` entry points do).
+    /// Excluded from equality and from [`to_json`](SweepReport::to_json):
+    /// see [`ThroughputStats`].
+    pub throughput: Option<ThroughputStats>,
+}
+
+/// Result equality only — [`ThroughputStats`] is run-to-run wall-clock
+/// metadata and deliberately ignored, so "same grid ⇒ equal reports" holds
+/// at any thread count and machine speed.
+impl PartialEq for SweepReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.rows == other.rows
+            && self.summary == other.summary
+            && self.energy == other.energy
+    }
 }
 
 impl SweepReport {
@@ -67,6 +129,7 @@ impl SweepReport {
             rows: Vec::new(),
             summary: Vec::new(),
             energy: Vec::new(),
+            throughput: None,
         }
     }
 
@@ -248,6 +311,16 @@ pub fn format_sweep_report(report: &SweepReport) -> String {
             out.push_str(&format!(" {k}={v:.4}"));
         }
         out.push('\n');
+    }
+    if let Some(t) = &report.throughput {
+        out.push_str(&format!(
+            "throughput: {} scenarios in {:.3} s on {} thread{} ({:.0} scenarios/s)\n",
+            t.scenarios,
+            t.wall_s,
+            t.threads,
+            if t.threads == 1 { "" } else { "s" },
+            t.scenarios_per_sec(),
+        ));
     }
     out
 }

@@ -15,13 +15,13 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use fabric::{
-    FabricKind, Flow, FlowSimConfig, FlowSimulator, RackFabric, RackFabricConfig, TimelineConfig,
-    TimelineSimulator,
+    FabricKind, Flow, FlowArena, FlowSimConfig, FlowSimulator, RackFabric, RackFabricConfig,
+    TimelineArena, TimelineConfig, TimelineSimulator,
 };
 use rayon::prelude::*;
 
 use crate::energy::{EnergyConfig, EnergyModel};
-use crate::report::{SweepReport, SweepRow};
+use crate::report::{SweepReport, SweepRow, ThroughputStats};
 use crate::sweep::grid::SweepGrid;
 use crate::sweep::scenario::{Scenario, ScenarioLoad, ScenarioResult};
 
@@ -40,6 +40,59 @@ where
     F: Fn(&I) -> R + Sync + Send,
 {
     items.par_iter().map(f).collect()
+}
+
+/// [`parallel_map`] with per-worker scratch state: each pool worker builds
+/// one `S` with `init` and reuses it for every item it steals (rayon's
+/// `map_init` shape).
+///
+/// This is the arena hook the scenario executor runs on — one
+/// [`FlowArena`]/[`TimelineArena`] pair per worker thread, reused across
+/// thousands of scenarios, so the hot path stops allocating per scenario.
+/// The determinism contract is unchanged *provided* `f`'s result does not
+/// depend on the state's history (which pure scratch buffers satisfy):
+/// results come back in input order, byte-identical at any thread count.
+///
+/// ```
+/// use disagg_core::sweep::parallel_map_with;
+///
+/// let squares = parallel_map_with(
+///     &[1u64, 2, 3, 4],
+///     Vec::<u64>::new, // per-worker scratch: a reusable buffer
+///     |scratch, &x| {
+///         scratch.clear();
+///         scratch.extend((0..x).map(|_| x));
+///         scratch.iter().sum::<u64>()
+///     },
+/// );
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn parallel_map_with<I, S, R, INIT, F>(items: &[I], init: INIT, f: F) -> Vec<R>
+where
+    I: Sync,
+    R: Send,
+    INIT: Fn() -> S + Sync,
+    F: Fn(&mut S, &I) -> R + Sync,
+{
+    items.par_iter().map_init(init, f).collect()
+}
+
+/// Per-worker reusable simulator state: one flow-solver arena and one
+/// timeline arena, built once per pool worker and threaded through every
+/// scenario that worker executes. Purely scratch — see
+/// [`FlowArena`]/[`TimelineArena`]; reuse never changes results.
+pub(super) struct WorkerScratch {
+    flow: FlowArena,
+    timeline: TimelineArena,
+}
+
+impl WorkerScratch {
+    pub(super) fn new() -> Self {
+        WorkerScratch {
+            flow: FlowArena::new(),
+            timeline: TimelineArena::new(),
+        }
+    }
 }
 
 /// Fix the engine's thread count from a CLI request, falling back to the
@@ -156,6 +209,7 @@ impl SweepGrid {
         let mut aggregator = StreamAggregator::new();
         let mut shard_index = 0usize;
         let mut shard = SweepReport::new(format!("{}.shard0", self.name));
+        let started = std::time::Instant::now();
         let fabrics_built = self.drive(true, config.batch_size.max(1), &mut |result| {
             aggregator.absorb(&result);
             if rows_emitted + shard.rows.len() < row_cap {
@@ -171,11 +225,18 @@ impl SweepGrid {
                 emit(full);
             }
         });
+        let wall_s = started.elapsed().as_secs_f64();
         if !shard.rows.is_empty() {
             emit(shard);
         }
         let mut master = SweepReport::new(self.name.clone());
+        let scenarios = aggregator.scenarios;
         aggregator.finish(&mut master, fabrics_built);
+        master.throughput = Some(ThroughputStats {
+            scenarios,
+            wall_s,
+            threads: rayon::current_num_threads(),
+        });
         master
     }
 
@@ -183,13 +244,25 @@ impl SweepGrid {
         let row_cap = config.row_cap.unwrap_or(usize::MAX);
         let mut report = SweepReport::new(self.name.clone());
         let mut aggregator = StreamAggregator::new();
+        let started = std::time::Instant::now();
         let fabrics_built = self.drive(parallel, config.batch_size.max(1), &mut |result| {
             aggregator.absorb(&result);
             if report.rows.len() < row_cap {
                 push_row(&mut report, result);
             }
         });
+        let wall_s = started.elapsed().as_secs_f64();
+        let scenarios = aggregator.scenarios;
         aggregator.finish(&mut report, fabrics_built);
+        report.throughput = Some(ThroughputStats {
+            scenarios,
+            wall_s,
+            threads: if parallel {
+                rayon::current_num_threads()
+            } else {
+                1
+            },
+        });
         report
     }
 
@@ -216,6 +289,9 @@ impl SweepGrid {
         let hop = self.indirect_hop_latency_ns;
         let energy_config = self.energy_config;
         let mut batch: Vec<Scenario> = Vec::with_capacity(batch_size.min(scenarios.len()));
+        // Serial runs reuse one scratch for the entire grid; parallel
+        // batches build one per pool worker via `parallel_map_with`.
+        let mut serial_scratch = WorkerScratch::new();
         loop {
             batch.clear();
             batch.extend(scenarios.by_ref().take(batch_size));
@@ -223,11 +299,13 @@ impl SweepGrid {
                 break;
             }
             let results: Vec<ScenarioResult> = if parallel {
-                parallel_map(&batch, |s| run_scenario(s, &cache, hop, &energy_config))
+                parallel_map_with(&batch, WorkerScratch::new, |scratch, s| {
+                    run_scenario(s, &cache, hop, &energy_config, scratch)
+                })
             } else {
                 batch
                     .iter()
-                    .map(|s| run_scenario(s, &cache, hop, &energy_config))
+                    .map(|s| run_scenario(s, &cache, hop, &energy_config, &mut serial_scratch))
                     .collect()
             };
             for result in results {
@@ -392,6 +470,7 @@ pub(super) fn run_scenario(
     cache: &FabricCache,
     indirect_hop_ns: f64,
     energy_config: &EnergyConfig,
+    scratch: &mut WorkerScratch,
 ) -> ScenarioResult {
     let fabric = cache.get(&scenario.fabric);
     let flow_config = FlowSimConfig {
@@ -407,8 +486,8 @@ pub(super) fn run_scenario(
     match &scenario.load {
         ScenarioLoad::Pattern(pattern) => {
             let flows = pattern.flows(scenario.fabric.mcm_count, scenario.seed);
-            let report = FlowSimulator::new(fabric, flow_config).run(&flows);
-            ScenarioResult {
+            let report = FlowSimulator::new(fabric, flow_config).run_in(&mut scratch.flow, &flows);
+            let result = ScenarioResult {
                 scenario: scenario.clone(),
                 flows: flows.len(),
                 offered_gbps: report.offered_gbps,
@@ -421,7 +500,9 @@ pub(super) fn run_scenario(
                 epochs: 1,
                 reconfigurations: 0,
                 energy: energy_model.map(|m| m.account_flows(&report)),
-            }
+            };
+            scratch.flow.recycle(report);
+            result
         }
         ScenarioLoad::Timeline(tc) => {
             let epochs: Vec<Vec<Flow>> = tc
@@ -434,8 +515,8 @@ pub(super) fn run_scenario(
                     policy: tc.policy,
                 },
             );
-            let report = sim.run(&epochs);
-            ScenarioResult {
+            let report = sim.run_in(&mut scratch.timeline, &epochs);
+            let result = ScenarioResult {
                 scenario: scenario.clone(),
                 flows: report.epochs.iter().map(|e| e.flows).sum(),
                 offered_gbps: report.offered_gbps,
@@ -448,7 +529,9 @@ pub(super) fn run_scenario(
                 epochs: report.epochs.len(),
                 reconfigurations: report.reconfigurations,
                 energy: energy_model.map(|m| m.account_timeline(&report)),
-            }
+            };
+            scratch.timeline.recycle(report);
+            result
         }
     }
 }

@@ -18,11 +18,13 @@
 //!   [`TrafficPattern`](workloads::TrafficPattern) matrices or phased
 //!   [`DemandTimeline`](workloads::DemandTimeline)s under each swept
 //!   reallocation policy), and [`ScenarioResult`].
-//! * [`exec`](self) — the execution layer: [`parallel_map`], the engine's
-//!   order-preserving parallel primitive on the vendored chunk-stealing
-//!   thread pool; [`configure_threads`] (`--threads` / `PD_THREADS`
-//!   plumbing); the `Arc`-shared fabric memoization cache; and the batched
-//!   streaming runner behind [`SweepGrid::run`],
+//! * [`exec`](self) — the execution layer: [`parallel_map`] and
+//!   [`parallel_map_with`], the engine's order-preserving parallel
+//!   primitives on the vendored chunk-stealing thread pool (the latter
+//!   threads one reusable scratch arena per worker through every scenario
+//!   that worker executes); [`configure_threads`] (`--threads` /
+//!   `PD_THREADS` plumbing); the `Arc`-shared fabric memoization cache; and
+//!   the batched streaming runner behind [`SweepGrid::run`],
 //!   [`SweepGrid::run_streaming`] (opt-in row cap), and
 //!   [`SweepGrid::run_sharded`] (bounded-memory JSON emission).
 //!
@@ -41,7 +43,7 @@ mod scenario;
 
 pub mod artifacts;
 
-pub use exec::{configure_threads, parallel_map, StreamConfig};
+pub use exec::{configure_threads, parallel_map, parallel_map_with, StreamConfig};
 pub use grid::{ScenarioIter, SweepGrid};
 pub use scenario::{fabric_kind_label, Scenario, ScenarioLoad, ScenarioResult, TimelineCase};
 

@@ -158,6 +158,91 @@ impl FlowSimReport {
     }
 }
 
+/// Reusable scratch state for [`FlowSimulator`] runs: the wavelength
+/// occupancy board, sanitized-flow and candidate buffers, and the
+/// allocation vector, all kept warm across runs so the steady path
+/// allocates nothing.
+///
+/// An arena is plain scratch — it never changes results. Running through a
+/// fresh arena, a reused arena, or [`FlowSimulator::run`] (which builds a
+/// throwaway arena internally) produces bit-identical reports; the sweep
+/// engine keeps one arena per worker thread and threads it through every
+/// scenario that worker executes.
+///
+/// # Example
+///
+/// ```
+/// use fabric::{Flow, FlowArena, FlowSimConfig, FlowSimulator, RackFabric};
+///
+/// let fabric = RackFabric::paper_awgr();
+/// let sim = FlowSimulator::new(&fabric, FlowSimConfig::default());
+/// let flows = [Flow::new(0, 1, 100.0), Flow::new(1, 2, 400.0)];
+///
+/// let mut arena = FlowArena::new();
+/// let first = sim.run_in(&mut arena, &flows);
+/// // Recycling the report returns its allocation buffer to the arena, so
+/// // the next run on this arena allocates nothing at all.
+/// arena.recycle(first.clone());
+/// let second = sim.run_in(&mut arena, &flows);
+/// assert_eq!(first, second);
+/// assert_eq!(second, sim.run(&flows)); // identical to the arena-free path
+/// ```
+#[derive(Debug)]
+pub struct FlowArena {
+    board: OccupancyBoard,
+    /// Pairs occupied on the board by the previous run; cleared entry by
+    /// entry on reuse instead of wiping (or reallocating) the whole
+    /// `N x N` board.
+    touched: Vec<(u32, u32)>,
+    sanitized: Vec<Flow>,
+    direct_shares: Vec<f64>,
+    candidates: Vec<u32>,
+    allocations: Vec<FlowAllocation>,
+}
+
+impl FlowArena {
+    /// An empty arena; buffers grow on first use and stay allocated.
+    pub fn new() -> Self {
+        FlowArena {
+            board: OccupancyBoard::new(0),
+            touched: Vec::new(),
+            sanitized: Vec::new(),
+            direct_shares: Vec::new(),
+            candidates: Vec::new(),
+            allocations: Vec::new(),
+        }
+    }
+
+    /// Reclaim the allocation buffer of a report produced by
+    /// [`FlowSimulator::run_in`] on this arena, once the caller is done
+    /// with it. Purely an allocation-reuse hook: skipping it never changes
+    /// results, it just costs one `Vec` per run.
+    pub fn recycle(&mut self, mut report: FlowSimReport) {
+        report.allocations.clear();
+        self.allocations = report.allocations;
+    }
+
+    /// Ready the board for a run on a rack of `mcm_count` MCMs: same-size
+    /// boards are delta-cleared via the touched-pair list from the previous
+    /// run; a size change rebuilds the board.
+    fn prepare(&mut self, mcm_count: u32) {
+        if self.board.mcm_count() == mcm_count {
+            for &(src, dst) in &self.touched {
+                self.board.clear_pair(src, dst);
+            }
+        } else {
+            self.board.reset(mcm_count);
+        }
+        self.touched.clear();
+    }
+}
+
+impl Default for FlowArena {
+    fn default() -> Self {
+        FlowArena::new()
+    }
+}
+
 /// The flow-level simulator.
 #[derive(Debug)]
 pub struct FlowSimulator<'a> {
@@ -210,52 +295,72 @@ impl<'a> FlowSimulator<'a> {
     /// assert_eq!(empty.mean_latency_ns, 0.0);
     /// ```
     pub fn run(&self, flows: &[Flow]) -> FlowSimReport {
-        // Sanitize the demand matrix per the contract above.
-        let flows: Vec<Flow> = flows.iter().map(|f| f.sanitized()).collect();
+        self.run_in(&mut FlowArena::new(), flows)
+    }
+
+    /// [`run`](FlowSimulator::run) through a caller-provided scratch
+    /// [`FlowArena`], reusing its buffers instead of allocating fresh state
+    /// per run. Results are bit-identical to `run` — the arena is pure
+    /// scratch (see the [`FlowArena`] docs for the reuse pattern, including
+    /// [`FlowArena::recycle`] for the returned report's allocation buffer).
+    pub fn run_in(&self, arena: &mut FlowArena, flows: &[Flow]) -> FlowSimReport {
         let gbps_per_wavelength = self.fabric.config().gbps_per_wavelength;
         let mcm_count = self.fabric.config().mcm_count;
-        let mut board = OccupancyBoard::new(mcm_count);
+        arena.prepare(mcm_count);
+        // Sanitize the demand matrix per the contract above.
+        arena.sanitized.clear();
+        arena.sanitized.extend(flows.iter().map(|f| f.sanitized()));
         let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let mut allocations = Vec::with_capacity(flows.len());
+        arena.allocations.clear();
+        arena.allocations.reserve(arena.sanitized.len());
 
         // Pass 1: direct allocation.
-        let mut direct_shares = Vec::with_capacity(flows.len());
-        for flow in &flows {
+        arena.direct_shares.clear();
+        arena.direct_shares.reserve(arena.sanitized.len());
+        for flow in &arena.sanitized {
             if flow.src == flow.dst || flow.demand_gbps <= 0.0 {
-                direct_shares.push(flow.demand_gbps.max(0.0));
+                arena.direct_shares.push(flow.demand_gbps.max(0.0));
                 continue;
             }
             let needed = (flow.demand_gbps / gbps_per_wavelength).ceil().max(0.0) as u32;
-            let free = board.free_wavelengths(self.fabric, flow.src, flow.dst);
+            let free = arena
+                .board
+                .free_wavelengths(self.fabric, flow.src, flow.dst);
             let granted = needed.min(free);
-            board.occupy(flow.src, flow.dst, granted);
+            arena.board.occupy(flow.src, flow.dst, granted);
+            arena.touched.push((flow.src, flow.dst));
             let granted_gbps = (granted as f64 * gbps_per_wavelength).min(flow.demand_gbps);
-            direct_shares.push(granted_gbps);
+            arena.direct_shares.push(granted_gbps);
         }
 
         // Pass 2: indirect allocation of the residual demand.
-        for (flow, &direct_gbps) in flows.iter().zip(direct_shares.iter()) {
+        for (flow, &direct_gbps) in arena.sanitized.iter().zip(arena.direct_shares.iter()) {
             let mut indirect_gbps = 0.0;
             let residual = flow.demand_gbps - direct_gbps;
             if residual > 1e-9 && flow.src != flow.dst {
                 let mut remaining_wavelengths = (residual / gbps_per_wavelength).ceil() as u32;
-                // Candidate intermediates in random (Valiant) order.
-                let mut candidates: Vec<u32> = (0..mcm_count)
-                    .filter(|&m| m != flow.src && m != flow.dst)
-                    .collect();
-                candidates.shuffle(&mut rng);
-                for m in candidates {
+                // Candidate intermediates in random (Valiant) order. The
+                // shuffle consumes the same RNG draws whatever buffer backs
+                // the candidate list, so arena reuse cannot perturb it.
+                arena.candidates.clear();
+                arena
+                    .candidates
+                    .extend((0..mcm_count).filter(|&m| m != flow.src && m != flow.dst));
+                arena.candidates.shuffle(&mut rng);
+                for &m in &arena.candidates {
                     if remaining_wavelengths == 0 {
                         break;
                     }
-                    let leg1 = board.free_wavelengths(self.fabric, flow.src, m);
-                    let leg2 = board.free_wavelengths(self.fabric, m, flow.dst);
+                    let leg1 = arena.board.free_wavelengths(self.fabric, flow.src, m);
+                    let leg2 = arena.board.free_wavelengths(self.fabric, m, flow.dst);
                     let usable = leg1.min(leg2).min(remaining_wavelengths);
                     if usable == 0 {
                         continue;
                     }
-                    board.occupy(flow.src, m, usable);
-                    board.occupy(m, flow.dst, usable);
+                    arena.board.occupy(flow.src, m, usable);
+                    arena.board.occupy(m, flow.dst, usable);
+                    arena.touched.push((flow.src, m));
+                    arena.touched.push((m, flow.dst));
                     remaining_wavelengths -= usable;
                     indirect_gbps += usable as f64 * gbps_per_wavelength;
                 }
@@ -271,7 +376,7 @@ impl<'a> FlowSimulator<'a> {
             } else {
                 0.0
             };
-            allocations.push(FlowAllocation {
+            arena.allocations.push(FlowAllocation {
                 flow: *flow,
                 direct_gbps,
                 indirect_gbps,
@@ -279,7 +384,7 @@ impl<'a> FlowSimulator<'a> {
             });
         }
 
-        self.summarize(allocations)
+        self.summarize(std::mem::take(&mut arena.allocations))
     }
 
     fn summarize(&self, allocations: Vec<FlowAllocation>) -> FlowSimReport {
@@ -479,6 +584,47 @@ mod tests {
         let a = FlowSimulator::new(&fabric, cfg).run(&flows);
         let b = FlowSimulator::new(&fabric, cfg).run(&flows);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn arena_runs_are_identical_to_allocating_runs() {
+        let fabric = awgr_fabric(32);
+        let sim = FlowSimulator::new(&fabric, FlowSimConfig::default());
+        // Mix of direct-only, indirect-heavy, self, zero, and duplicate-pair
+        // flows so both passes and the touched-pair reset all get exercised.
+        let flows: Vec<Flow> = (0..16)
+            .map(|i| Flow::new(i, (i + 7) % 32, 400.0))
+            .chain([
+                Flow::new(3, 3, 120.0),
+                Flow::new(0, 7, 0.0),
+                Flow::new(0, 7, 900.0),
+            ])
+            .collect();
+        let baseline = sim.run(&flows);
+        let mut arena = FlowArena::new();
+        assert_eq!(sim.run_in(&mut arena, &flows), baseline);
+        // The dirty arena must give the same answer again, with and without
+        // recycling the previous report.
+        let second = sim.run_in(&mut arena, &flows);
+        assert_eq!(second, baseline);
+        arena.recycle(second);
+        assert_eq!(sim.run_in(&mut arena, &flows), baseline);
+        // And on a different matrix afterwards.
+        let other = vec![Flow::new(5, 6, 2000.0)];
+        assert_eq!(sim.run_in(&mut arena, &other), sim.run(&other));
+    }
+
+    #[test]
+    fn one_arena_serves_different_rack_sizes() {
+        let mut arena = FlowArena::new();
+        for mcms in [16u32, 64, 8] {
+            let fabric = awgr_fabric(mcms);
+            let sim = FlowSimulator::new(&fabric, FlowSimConfig::default());
+            let flows: Vec<Flow> = (0..mcms / 2)
+                .map(|i| Flow::new(i, mcms - 1 - i, 500.0))
+                .collect();
+            assert_eq!(sim.run_in(&mut arena, &flows), sim.run(&flows));
+        }
     }
 
     #[test]

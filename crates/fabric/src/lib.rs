@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod awgr;
+pub mod demand;
 pub mod electronic;
 pub mod flowsim;
 pub mod rackfabric;
@@ -42,10 +43,12 @@ pub mod routing;
 pub mod timeline;
 
 pub use awgr::Awgr;
+pub use demand::DemandMatrix;
 pub use electronic::{ElectronicFabric, ElectronicSwitchKind};
-pub use flowsim::{Flow, FlowSimConfig, FlowSimReport, FlowSimulator};
+pub use flowsim::{Flow, FlowArena, FlowSimConfig, FlowSimReport, FlowSimulator};
 pub use rackfabric::{FabricKind, FabricReport, RackFabric, RackFabricConfig};
 pub use routing::{IndirectRouter, OccupancyBoard, RouteDecision, RoutingStats};
 pub use timeline::{
-    EpochResult, ReallocationPolicy, TimelineConfig, TimelineReport, TimelineSimulator,
+    EpochResult, ReallocationPolicy, TimelineArena, TimelineConfig, TimelineReport,
+    TimelineSimulator,
 };

@@ -55,8 +55,10 @@ impl RouteDecision {
 #[derive(Debug, Clone)]
 pub struct OccupancyBoard {
     mcm_count: u32,
-    /// occupied[src][dst] = wavelengths in use from src to dst.
-    occupied: Vec<Vec<u32>>,
+    /// Flat row-major occupancy: `occupied[src * mcm_count + dst]` =
+    /// wavelengths in use from `src` to `dst`. One contiguous allocation,
+    /// cache-friendly row scans.
+    occupied: Vec<u32>,
 }
 
 impl OccupancyBoard {
@@ -64,7 +66,7 @@ impl OccupancyBoard {
     pub fn new(mcm_count: u32) -> Self {
         OccupancyBoard {
             mcm_count,
-            occupied: vec![vec![0; mcm_count as usize]; mcm_count as usize],
+            occupied: vec![0; (mcm_count as usize) * (mcm_count as usize)],
         }
     }
 
@@ -73,20 +75,57 @@ impl OccupancyBoard {
         self.mcm_count
     }
 
+    /// The flat row-major index of an `(src, dst)` pair.
+    #[inline]
+    fn index(&self, src: u32, dst: u32) -> usize {
+        src as usize * self.mcm_count as usize + dst as usize
+    }
+
     /// Wavelengths currently occupied from `src` to `dst`.
     pub fn occupied(&self, src: u32, dst: u32) -> u32 {
-        self.occupied[src as usize][dst as usize]
+        self.occupied[self.index(src, dst)]
     }
 
     /// Mark `n` additional wavelengths busy from `src` to `dst`.
     pub fn occupy(&mut self, src: u32, dst: u32, n: u32) {
-        self.occupied[src as usize][dst as usize] += n;
+        let i = self.index(src, dst);
+        self.occupied[i] += n;
     }
 
     /// Release `n` wavelengths from `src` to `dst`.
     pub fn release(&mut self, src: u32, dst: u32, n: u32) {
-        let v = &mut self.occupied[src as usize][dst as usize];
+        let i = self.index(src, dst);
+        let v = &mut self.occupied[i];
         *v = v.saturating_sub(n);
+    }
+
+    /// Reset every entry to idle in place, keeping the allocation. This is
+    /// the arena-reuse path: a board sized for the same rack is recycled
+    /// across simulator runs instead of reallocated.
+    ///
+    /// ```
+    /// use fabric::OccupancyBoard;
+    ///
+    /// let mut board = OccupancyBoard::new(8);
+    /// board.occupy(0, 1, 3);
+    /// board.reset(8);
+    /// assert_eq!(board.occupied(0, 1), 0);
+    /// // Resizing to a different rack reuses the same board value.
+    /// board.reset(16);
+    /// assert_eq!(board.mcm_count(), 16);
+    /// ```
+    pub fn reset(&mut self, mcm_count: u32) {
+        let cells = (mcm_count as usize) * (mcm_count as usize);
+        self.mcm_count = mcm_count;
+        self.occupied.clear();
+        self.occupied.resize(cells, 0);
+    }
+
+    /// Set one pair back to idle (an O(1) targeted clear, used by the
+    /// arena's touched-pair delta-reset instead of wiping the whole board).
+    pub fn clear_pair(&mut self, src: u32, dst: u32) {
+        let i = self.index(src, dst);
+        self.occupied[i] = 0;
     }
 
     /// Free direct wavelengths from `src` to `dst` on the given fabric.
@@ -101,7 +140,11 @@ impl OccupancyBoard {
     /// The paper notes this is ~256 bytes per source even with 8 bits per
     /// wavelength — negligible bandwidth.
     pub fn piggyback_vector(&self, src: u32) -> Vec<bool> {
-        self.occupied[src as usize].iter().map(|&o| o > 0).collect()
+        let row = src as usize * self.mcm_count as usize;
+        self.occupied[row..row + self.mcm_count as usize]
+            .iter()
+            .map(|&o| o > 0)
+            .collect()
     }
 
     /// Size in bytes of the piggybacked status vector with `bits_per_entry`

@@ -27,7 +27,7 @@
 
 use std::collections::HashMap;
 
-use crate::flowsim::{Flow, FlowSimConfig, FlowSimulator};
+use crate::flowsim::{Flow, FlowArena, FlowSimConfig, FlowSimulator};
 use crate::rackfabric::RackFabric;
 use serde::{Deserialize, Serialize};
 
@@ -213,6 +213,164 @@ impl Steering {
     }
 }
 
+/// Reusable scratch and persistent steering state for
+/// [`TimelineSimulator`] runs.
+///
+/// The incremental epoch solver ([`TimelineSimulator::run_in`]) keeps the
+/// wavelength assignment and per-epoch pair demand in flat generation-
+/// stamped `nodes x nodes` matrices inside this arena. Superseding the
+/// previous epoch's assignment is a single generation bump (an O(1) bulk
+/// "undo"), and each epoch costs O(flows + touched pairs) — never O(n²) —
+/// with zero allocation on the steady path. The arena also embeds a
+/// [`FlowArena`] so the per-steer flow solves reuse their scratch too.
+///
+/// Like [`FlowArena`], the arena never changes results: running through a
+/// fresh arena, a reused arena, [`TimelineSimulator::run`], or the
+/// exhaustive reference solver
+/// ([`TimelineSimulator::run_exhaustive`]) produces identical reports.
+///
+/// # Example
+///
+/// ```
+/// use fabric::{
+///     Flow, RackFabric, TimelineArena, TimelineConfig, TimelineSimulator,
+/// };
+///
+/// let mut cfg = fabric::RackFabricConfig::paper_rack(fabric::FabricKind::ParallelAwgrs);
+/// cfg.mcm_count = 8;
+/// let fabric = RackFabric::new(cfg);
+/// let sim = TimelineSimulator::new(&fabric, TimelineConfig::default());
+/// let epochs = vec![
+///     vec![Flow::new(0, 1, 400.0)],
+///     vec![Flow::new(2, 3, 400.0)],
+/// ];
+///
+/// let mut arena = TimelineArena::new();
+/// let first = sim.run_in(&mut arena, &epochs);
+/// // Recycling returns the report's epoch buffer to the arena; the next
+/// // run on this arena then allocates nothing at all.
+/// arena.recycle(first.clone());
+/// let second = sim.run_in(&mut arena, &epochs);
+/// assert_eq!(first, second);
+/// assert_eq!(second, sim.run(&epochs)); // identical to the arena-free path
+/// ```
+#[derive(Debug)]
+pub struct TimelineArena {
+    /// Scratch for the per-steer flow solves.
+    flow_arena: FlowArena,
+    /// Sanitized current-epoch matrix.
+    sanitized: Vec<Flow>,
+    /// Previous epoch's sanitized matrix (greedy change detection).
+    prev: Vec<Flow>,
+    /// Rack size the flat matrices below are sized for.
+    nodes: u32,
+    /// Persistent assignment, flat row-major per ordered pair: direct and
+    /// indirect granted Gbps plus satisfied-weighted latency. Entries are
+    /// live only when their stamp matches `grant_gen`.
+    grant_direct: Vec<f64>,
+    grant_indirect: Vec<f64>,
+    grant_latency: Vec<f64>,
+    grant_stamp: Vec<u64>,
+    grant_gen: u64,
+    /// Flat indices the current assignment populated (for finalization).
+    grant_touched: Vec<usize>,
+    /// Current epoch's aggregated pair demand, same stamping scheme.
+    demand: Vec<f64>,
+    demand_stamp: Vec<u64>,
+    demand_gen: u64,
+    /// Per-epoch results of the run in progress.
+    results: Vec<EpochResult>,
+}
+
+impl TimelineArena {
+    /// An empty arena; matrices are sized on first use and stay allocated.
+    pub fn new() -> Self {
+        TimelineArena {
+            flow_arena: FlowArena::new(),
+            sanitized: Vec::new(),
+            prev: Vec::new(),
+            nodes: 0,
+            grant_direct: Vec::new(),
+            grant_indirect: Vec::new(),
+            grant_latency: Vec::new(),
+            grant_stamp: Vec::new(),
+            grant_gen: 0,
+            grant_touched: Vec::new(),
+            demand: Vec::new(),
+            demand_stamp: Vec::new(),
+            demand_gen: 0,
+            results: Vec::new(),
+        }
+    }
+
+    /// Reclaim the epoch buffer of a report produced by
+    /// [`TimelineSimulator::run_in`] on this arena, once the caller is done
+    /// with it. Purely an allocation-reuse hook: skipping it never changes
+    /// results.
+    pub fn recycle(&mut self, mut report: TimelineReport) {
+        report.epochs.clear();
+        self.results = report.epochs;
+    }
+
+    /// Size (or delta-reset) the flat matrices for a rack of `nodes` MCMs.
+    fn prepare(&mut self, nodes: u32) {
+        if self.nodes != nodes {
+            let cells = (nodes as usize) * (nodes as usize);
+            self.nodes = nodes;
+            self.grant_direct.clear();
+            self.grant_direct.resize(cells, 0.0);
+            self.grant_indirect.clear();
+            self.grant_indirect.resize(cells, 0.0);
+            self.grant_latency.clear();
+            self.grant_latency.resize(cells, 0.0);
+            self.grant_stamp.clear();
+            self.grant_stamp.resize(cells, 0);
+            self.demand.clear();
+            self.demand.resize(cells, 0.0);
+            self.demand_stamp.clear();
+            self.demand_stamp.resize(cells, 0);
+            self.grant_gen = 0;
+            self.demand_gen = 0;
+        }
+        // A new run must not inherit the previous run's assignment: bumping
+        // the generation retires every live entry in O(1).
+        self.grant_gen += 1;
+        self.grant_touched.clear();
+        self.results.clear();
+        self.sanitized.clear();
+        self.prev.clear();
+    }
+
+    /// The flat row-major index of an ordered pair.
+    #[inline]
+    fn index(&self, src: u32, dst: u32) -> usize {
+        src as usize * self.nodes as usize + dst as usize
+    }
+
+    /// The live grant for a pair, or all-zero when the current assignment
+    /// granted it nothing (the `HashMap::get(..).unwrap_or_default()` of the
+    /// exhaustive solver).
+    #[inline]
+    fn grant(&self, src: u32, dst: u32) -> PairGrant {
+        let i = self.index(src, dst);
+        if self.grant_stamp[i] == self.grant_gen {
+            PairGrant {
+                direct_gbps: self.grant_direct[i],
+                indirect_gbps: self.grant_indirect[i],
+                latency_ns: self.grant_latency[i],
+            }
+        } else {
+            PairGrant::default()
+        }
+    }
+}
+
+impl Default for TimelineArena {
+    fn default() -> Self {
+        TimelineArena::new()
+    }
+}
+
 /// The epoch-based temporal simulator.
 ///
 /// # Example
@@ -273,7 +431,121 @@ impl<'a> TimelineSimulator<'a> {
     ///
     /// Every aggregate of the returned [`TimelineReport`] is a defined
     /// (non-NaN) value, including for an empty epoch list.
+    ///
+    /// This delegates to the incremental solver
+    /// ([`run_in`](TimelineSimulator::run_in)) through a throwaway arena;
+    /// [`run_exhaustive`](TimelineSimulator::run_exhaustive) is the
+    /// from-scratch reference implementation both are tested against.
     pub fn run(&self, epochs: &[Vec<Flow>]) -> TimelineReport {
+        self.run_in(&mut TimelineArena::new(), epochs)
+    }
+
+    /// [`run`](TimelineSimulator::run) through a caller-provided
+    /// [`TimelineArena`]: the incremental epoch solver.
+    ///
+    /// Instead of rebuilding per-pair steering and demand maps from scratch
+    /// each epoch, the solver delta-updates the arena's persistent flat
+    /// matrices: a re-steer retires the previous epoch's assignment with a
+    /// single generation bump and writes only the pairs the new allocation
+    /// touches, and an epoch whose matrix is unchanged under
+    /// [`GreedyResteer`](ReallocationPolicy::GreedyResteer) skips the solve
+    /// entirely. Per-epoch cost is O(flows + touched pairs) — never O(n²) —
+    /// with zero allocation on the steady path.
+    ///
+    /// Results are identical to [`run`](TimelineSimulator::run) and to
+    /// [`run_exhaustive`](TimelineSimulator::run_exhaustive): the arena is
+    /// scratch plus carried state, never a source of divergence.
+    pub fn run_in(&self, arena: &mut TimelineArena, epochs: &[Vec<Flow>]) -> TimelineReport {
+        arena.prepare(self.fabric.config().mcm_count);
+        let mut have_steering = false;
+        let mut have_prev = false;
+        arena.results.reserve(epochs.len());
+
+        for (epoch, raw) in epochs.iter().enumerate() {
+            arena.sanitized.clear();
+            arena.sanitized.extend(raw.iter().map(|f| f.sanitized()));
+
+            // Aggregate this epoch's pair demand into the stamped flat
+            // matrix (the exhaustive solver's `pair_demand` HashMap, folded
+            // in the same flow order so the f64 sums are identical).
+            arena.demand_gen += 1;
+            for k in 0..arena.sanitized.len() {
+                let f = arena.sanitized[k];
+                if f.src != f.dst && f.demand_gbps > 0.0 {
+                    let i = arena.index(f.src, f.dst);
+                    if arena.demand_stamp[i] != arena.demand_gen {
+                        arena.demand_stamp[i] = arena.demand_gen;
+                        arena.demand[i] = f.demand_gbps;
+                    } else {
+                        arena.demand[i] += f.demand_gbps;
+                    }
+                }
+            }
+
+            let mut reconfigured = false;
+            // The hysteresis probe is the epoch's final result whenever it
+            // clears the threshold; keep it instead of evaluating twice.
+            let mut probed: Option<EpochResult> = None;
+            if !have_steering {
+                // Initial assignment: every policy steers for epoch 0.
+                self.steer_in(arena, epoch);
+                have_steering = true;
+            } else {
+                match self.config.policy {
+                    ReallocationPolicy::Static => {}
+                    ReallocationPolicy::GreedyResteer => {
+                        if !(have_prev && arena.prev == arena.sanitized) {
+                            self.steer_in(arena, epoch);
+                            reconfigured = true;
+                        }
+                    }
+                    ReallocationPolicy::Hysteresis { min_satisfaction } => {
+                        let current = self.evaluate_in(epoch, arena, false);
+                        if current.satisfaction() < min_satisfaction - 1e-12 {
+                            self.steer_in(arena, epoch);
+                            reconfigured = true;
+                        } else {
+                            probed = Some(current);
+                        }
+                    }
+                }
+            }
+            let result = probed.unwrap_or_else(|| self.evaluate_in(epoch, arena, reconfigured));
+            arena.results.push(result);
+            std::mem::swap(&mut arena.prev, &mut arena.sanitized);
+            have_prev = true;
+        }
+
+        summarize(std::mem::take(&mut arena.results))
+    }
+
+    /// The from-scratch reference solver: per-pair steering and demand as
+    /// freshly built hash maps, one full rebuild per epoch.
+    ///
+    /// This is the original (pre-arena) implementation, kept as the oracle
+    /// the incremental solver is verified against — the repository's
+    /// timeline tests assert `run` / `run_in` reports are *equal* (`==`,
+    /// not approximately) to `run_exhaustive`'s on every policy. Prefer
+    /// [`run`](TimelineSimulator::run) everywhere else; this path allocates
+    /// O(pairs) per epoch.
+    ///
+    /// ```
+    /// use fabric::flowsim::Flow;
+    /// use fabric::rackfabric::{FabricKind, RackFabric, RackFabricConfig};
+    /// use fabric::timeline::{TimelineConfig, TimelineSimulator};
+    ///
+    /// let mut cfg = RackFabricConfig::paper_rack(FabricKind::ParallelAwgrs);
+    /// cfg.mcm_count = 8;
+    /// let fabric = RackFabric::new(cfg);
+    /// let sim = TimelineSimulator::new(&fabric, TimelineConfig::default());
+    /// let epochs = vec![
+    ///     vec![Flow::new(0, 1, 200.0)],
+    ///     vec![Flow::new(0, 2, 200.0)],
+    /// ];
+    /// // The incremental solver is bit-exact with the oracle.
+    /// assert_eq!(sim.run(&epochs), sim.run_exhaustive(&epochs));
+    /// ```
+    pub fn run_exhaustive(&self, epochs: &[Vec<Flow>]) -> TimelineReport {
         let mut steering: Option<Steering> = None;
         let mut prev_matrix: Option<Vec<Flow>> = None;
         let mut results = Vec::with_capacity(epochs.len());
@@ -315,6 +587,124 @@ impl<'a> TimelineSimulator<'a> {
         }
 
         summarize(results)
+    }
+
+    /// Recompute the assignment into the arena's flat grant matrices.
+    /// Mirrors [`Steering::from_allocation`] exactly: same per-epoch seed,
+    /// same allocation-order accumulation per pair, same per-pair latency
+    /// finalization — only the storage differs (generation-stamped flat
+    /// matrices instead of a fresh `HashMap`).
+    fn steer_in(&self, arena: &mut TimelineArena, epoch: usize) {
+        let config = FlowSimConfig {
+            seed: self
+                .config
+                .flow
+                .seed
+                .wrapping_add((epoch as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            ..self.config.flow
+        };
+        // Retire the previous assignment wholesale: one generation bump.
+        arena.grant_gen += 1;
+        arena.grant_touched.clear();
+        let report =
+            FlowSimulator::new(self.fabric, config).run_in(&mut arena.flow_arena, &arena.sanitized);
+        for a in &report.allocations {
+            if a.flow.src == a.flow.dst {
+                continue;
+            }
+            let i = arena.index(a.flow.src, a.flow.dst);
+            // `grant_latency` holds the satisfied-weighted latency *sum*
+            // during the fold; finalized to a mean below.
+            if arena.grant_stamp[i] != arena.grant_gen {
+                arena.grant_stamp[i] = arena.grant_gen;
+                arena.grant_direct[i] = a.direct_gbps;
+                arena.grant_indirect[i] = a.indirect_gbps;
+                arena.grant_latency[i] = a.latency_ns * a.satisfied_gbps();
+                arena.grant_touched.push(i);
+            } else {
+                arena.grant_direct[i] += a.direct_gbps;
+                arena.grant_indirect[i] += a.indirect_gbps;
+                arena.grant_latency[i] += a.latency_ns * a.satisfied_gbps();
+            }
+        }
+        for k in 0..arena.grant_touched.len() {
+            let i = arena.grant_touched[k];
+            let total = arena.grant_direct[i] + arena.grant_indirect[i];
+            arena.grant_latency[i] = if total > 0.0 {
+                arena.grant_latency[i] / total
+            } else {
+                0.0
+            };
+        }
+        arena.flow_arena.recycle(report);
+    }
+
+    /// [`evaluate`](TimelineSimulator::evaluate) against the arena's flat
+    /// matrices instead of hash maps; flow iteration order (and hence every
+    /// f64 accumulation) is identical.
+    fn evaluate_in(&self, epoch: usize, arena: &TimelineArena, reconfigured: bool) -> EpochResult {
+        let flows = &arena.sanitized;
+        let mut offered = 0.0;
+        let mut satisfied = 0.0;
+        let mut fabric_direct = 0.0;
+        let mut fabric_indirect = 0.0;
+        let mut weighted_latency = 0.0;
+        let mut direct_only = 0usize;
+        let mut indirect = 0usize;
+        let mut unsatisfied = 0usize;
+
+        for f in flows {
+            offered += f.demand_gbps;
+            if f.src == f.dst || f.demand_gbps <= 0.0 {
+                // Served locally (or asking for nothing): fully satisfied,
+                // matching FlowSimulator's contract.
+                satisfied += f.demand_gbps;
+                weighted_latency += f.demand_gbps * self.config.flow.direct_latency_ns;
+                direct_only += 1;
+                continue;
+            }
+            let demand_p = arena.demand[arena.index(f.src, f.dst)];
+            let grant = arena.grant(f.src, f.dst);
+            let served_p = demand_p.min(grant.total_gbps());
+            // This flow's proportional share of the pair's service. Direct
+            // grants serve first; only the remainder rides indirect hops.
+            let share = f.demand_gbps / demand_p;
+            let served = served_p * share;
+            let direct_served = served_p.min(grant.direct_gbps) * share;
+            satisfied += served;
+            fabric_direct += direct_served;
+            fabric_indirect += served - direct_served;
+            weighted_latency += served * grant.latency_ns;
+            let fully = demand_p <= grant.total_gbps() + 1e-9;
+            let used_indirect = served_p > grant.direct_gbps + 1e-9;
+            if !fully {
+                unsatisfied += 1;
+            }
+            if used_indirect {
+                indirect += 1;
+            } else if fully {
+                direct_only += 1;
+            }
+        }
+
+        let n = flows.len().max(1) as f64;
+        EpochResult {
+            epoch,
+            flows: flows.len(),
+            offered_gbps: offered,
+            satisfied_gbps: satisfied,
+            fabric_direct_gbps: fabric_direct,
+            fabric_indirect_gbps: fabric_indirect,
+            mean_latency_ns: if satisfied > 0.0 {
+                weighted_latency / satisfied
+            } else {
+                0.0
+            },
+            direct_only_fraction: direct_only as f64 / n,
+            indirect_fraction: indirect as f64 / n,
+            unsatisfied_fraction: unsatisfied as f64 / n,
+            reconfigured,
+        }
     }
 
     /// Recompute the wavelength assignment for a demand matrix. The steering
@@ -677,6 +1067,58 @@ mod tests {
             },
         ] {
             assert_eq!(run(&fabric, policy, &epochs), run(&fabric, policy, &epochs));
+        }
+    }
+
+    #[test]
+    fn incremental_solver_equals_exhaustive_oracle() {
+        // The arena-backed incremental solver must reproduce the
+        // from-scratch reference implementation *exactly* (==, not
+        // approximately) for every policy, including steer-skipping fast
+        // paths (repeated matrices) and hysteresis probes.
+        let fabric = awgr_fabric(16);
+        let mut shifting = hotspot_epochs(16, &[1, 9, 9, 4, 1], 400.0);
+        // Duplicate-pair flows exercise the per-pair accumulation order.
+        shifting[2].push(Flow::new(0, 9, 75.0));
+        shifting[2].push(Flow::new(0, 9, 25.0));
+        shifting[4].push(Flow::new(3, 3, 50.0));
+        for policy in [
+            ReallocationPolicy::Static,
+            ReallocationPolicy::GreedyResteer,
+            ReallocationPolicy::Hysteresis {
+                min_satisfaction: 0.9,
+            },
+            ReallocationPolicy::Hysteresis {
+                min_satisfaction: 0.0,
+            },
+        ] {
+            let sim = TimelineSimulator::new(
+                &fabric,
+                TimelineConfig {
+                    policy,
+                    ..TimelineConfig::default()
+                },
+            );
+            let oracle = sim.run_exhaustive(&shifting);
+            assert_eq!(sim.run(&shifting), oracle, "policy {policy:?}");
+            let mut arena = TimelineArena::new();
+            assert_eq!(sim.run_in(&mut arena, &shifting), oracle);
+            // A reused (dirty) arena must not leak state between runs.
+            let again = sim.run_in(&mut arena, &shifting);
+            assert_eq!(again, oracle, "reused arena diverged for {policy:?}");
+            arena.recycle(again);
+            assert_eq!(sim.run_in(&mut arena, &shifting), oracle);
+        }
+    }
+
+    #[test]
+    fn one_arena_serves_different_rack_sizes() {
+        let mut arena = TimelineArena::new();
+        for mcms in [12u32, 16, 8] {
+            let fabric = awgr_fabric(mcms);
+            let epochs = hotspot_epochs(mcms, &[1, 5], 400.0);
+            let sim = TimelineSimulator::new(&fabric, TimelineConfig::default());
+            assert_eq!(sim.run_in(&mut arena, &epochs), sim.run_exhaustive(&epochs));
         }
     }
 

@@ -1,0 +1,144 @@
+//! The incremental epoch solver against its exhaustive oracle.
+//!
+//! `TimelineSimulator::run` (and the arena-reusing `run_in`) delta-updates a
+//! persistent generation-stamped wavelength assignment between epochs;
+//! `run_exhaustive` rebuilds every epoch's steering state from scratch
+//! through the original HashMap path. The determinism contract requires the
+//! two to agree *exactly* — same floats, same reconfiguration count, same
+//! per-epoch rows — for every policy and every demand schedule. These tests
+//! pin that equivalence over all the canned workload timelines and, via
+//! proptest, over randomized phase sequences with duplicate-pair and
+//! self-directed flows thrown in.
+
+use photonic_disagg::fabric::flowsim::{Flow, FlowSimConfig};
+use photonic_disagg::fabric::rackfabric::{FabricKind, RackFabric, RackFabricConfig};
+use photonic_disagg::fabric::timeline::{
+    ReallocationPolicy, TimelineArena, TimelineConfig, TimelineSimulator,
+};
+use photonic_disagg::workloads::timeline::DemandTimeline;
+use photonic_disagg::workloads::TrafficPattern;
+use proptest::prelude::*;
+
+fn fabric(mcms: u32) -> RackFabric {
+    let mut cfg = RackFabricConfig::paper_rack(FabricKind::ParallelAwgrs);
+    cfg.mcm_count = mcms;
+    RackFabric::new(cfg)
+}
+
+const POLICIES: [ReallocationPolicy; 4] = [
+    ReallocationPolicy::Static,
+    ReallocationPolicy::GreedyResteer,
+    ReallocationPolicy::Hysteresis {
+        min_satisfaction: 0.9,
+    },
+    // Threshold 0 never trips, exercising the stale-assignment reuse path.
+    ReallocationPolicy::Hysteresis {
+        min_satisfaction: 0.0,
+    },
+];
+
+/// Run one schedule under one policy through the incremental solver (fresh
+/// arena and a deliberately dirty reused arena) and the exhaustive oracle,
+/// requiring bit-exact equality.
+fn assert_matches_oracle(fabric: &RackFabric, epochs: &[Vec<Flow>], policy: ReallocationPolicy) {
+    let sim = TimelineSimulator::new(
+        fabric,
+        TimelineConfig {
+            policy,
+            flow: FlowSimConfig::default(),
+        },
+    );
+    let oracle = sim.run_exhaustive(epochs);
+    assert_eq!(sim.run(epochs), oracle, "run diverged under {policy:?}");
+
+    let mut arena = TimelineArena::new();
+    assert_eq!(
+        sim.run_in(&mut arena, epochs),
+        oracle,
+        "fresh-arena run_in diverged under {policy:?}"
+    );
+    // The arena now carries the previous run's grant/demand state; a second
+    // pass must still match (prepare() has to neutralize stale entries).
+    assert_eq!(
+        sim.run_in(&mut arena, epochs),
+        oracle,
+        "dirty-arena run_in diverged under {policy:?}"
+    );
+}
+
+/// Every canned workload schedule, every policy: the incremental solver is
+/// indistinguishable from exhaustive re-solving.
+#[test]
+fn incremental_solver_matches_oracle_on_canned_schedules() {
+    let fabric = fabric(24);
+    let schedules = [
+        DemandTimeline::steady(
+            TrafficPattern::HotSpot {
+                hot_mcms: 4,
+                demand_gbps: 600.0,
+            },
+            4,
+        ),
+        DemandTimeline::shifting_hotspot(4, 500.0, 3, 2, 5),
+        DemandTimeline::hpc_mix(200.0, 2),
+    ];
+    for schedule in &schedules {
+        let epochs = schedule.epoch_matrices(24, 17);
+        for policy in POLICIES {
+            assert_matches_oracle(&fabric, &epochs, policy);
+        }
+    }
+}
+
+/// Duplicate src/dst pairs and self-directed flows hit the matrix-fold
+/// accumulation and sanitize paths; the equivalence must survive both.
+#[test]
+fn incremental_solver_matches_oracle_with_degenerate_flows() {
+    let fabric = fabric(12);
+    let mut epochs = DemandTimeline::shifting_hotspot(2, 400.0, 3, 2, 3).epoch_matrices(12, 3);
+    for (i, epoch) in epochs.iter_mut().enumerate() {
+        epoch.push(Flow::new(0, 9, 75.0));
+        epoch.push(Flow::new(0, 9, 25.0 + i as f64));
+        epoch.push(Flow::new(3, 3, 50.0)); // Self-flow: sanitized away.
+    }
+    for policy in POLICIES {
+        assert_matches_oracle(&fabric, &epochs, policy);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Randomized phase sequences: arbitrary pattern per phase, arbitrary
+    /// phase lengths and demands, hot sets that repeat or alternate. The
+    /// incremental solver must track the oracle exactly through every
+    /// reconfigure/keep decision the sequence induces.
+    #[test]
+    fn incremental_solver_matches_oracle_on_random_phases(
+        seed in 0u64..1_000,
+        policy_idx in 0usize..POLICIES.len(),
+        n_phases in 1usize..4,
+        epochs_per_phase in 1u32..3,
+        demand in 50.0f64..2_000.0,
+    ) {
+        let mcms = 16;
+        let fabric = fabric(mcms);
+        let mut timeline = DemandTimeline::named("prop");
+        for p in 0..n_phases {
+            // Pseudo-random but seed-reproducible pattern choice per phase.
+            let pick = (seed + 31 * p as u64) % 4;
+            let pattern = match pick {
+                0 => TrafficPattern::HotSpot {
+                    hot_mcms: 1 + (seed % 3) as u32,
+                    demand_gbps: demand,
+                },
+                1 => TrafficPattern::Permutation { demand_gbps: demand },
+                2 => TrafficPattern::Uniform { flows_per_mcm: 2, demand_gbps: demand },
+                _ => TrafficPattern::NearestNeighbor { neighbors: 2, demand_gbps: demand },
+            };
+            timeline = timeline.phase(pattern, epochs_per_phase);
+        }
+        let epochs = timeline.epoch_matrices(mcms, seed);
+        assert_matches_oracle(&fabric, &epochs, POLICIES[policy_idx]);
+    }
+}

@@ -7,8 +7,18 @@
 //! and prints a one-line mean per benchmark — no statistics, plots, or
 //! comparison against saved baselines. It is sufficient for
 //! `cargo bench --no-run` CI smoke coverage and for coarse local timing.
+//!
+//! **Bench trajectory files.** When the `PD_BENCH_DIR` environment variable
+//! is set, every measurement is additionally recorded and, at the end of
+//! `criterion_main!`, written out as one versioned single-line JSON file
+//! per benchmark group: `PD_BENCH_DIR/BENCH_{group}.json` with shape
+//! `{"version":1,"group":...,"benches":[{"name","mean_ns","iters"},..]}`.
+//! The repository commits these snapshots (`BENCH_flowsim.json`,
+//! `BENCH_timeline.json`, …) as its tracked performance trajectory; see
+//! `docs/PERFORMANCE.md`.
 
 use std::fmt::Display;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Wall-clock budget per benchmark once one warm-up iteration has run.
@@ -17,6 +27,54 @@ const MEASURE_BUDGET: Duration = Duration::from_millis(200);
 /// Prevents the optimizer from eliding a benchmarked computation.
 pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
+}
+
+/// One recorded measurement, in group execution order.
+struct Record {
+    group: String,
+    id: String,
+    mean_ns: f64,
+    iters: u64,
+}
+
+fn registry() -> &'static Mutex<Vec<Record>> {
+    static REG: OnceLock<Mutex<Vec<Record>>> = OnceLock::new();
+    REG.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Write one `BENCH_{group}.json` per benchmark group run so far into the
+/// directory named by `PD_BENCH_DIR` (no-op when the variable is unset).
+/// Called by `criterion_main!` after all groups finish; safe to call again
+/// (rewrites the same files).
+pub fn write_bench_reports() {
+    let Ok(dir) = std::env::var("PD_BENCH_DIR") else {
+        return;
+    };
+    let records = registry().lock().unwrap();
+    // Group in first-seen order so file contents are stable run to run.
+    let mut groups: Vec<&str> = Vec::new();
+    for r in records.iter() {
+        if !groups.contains(&r.group.as_str()) {
+            groups.push(&r.group);
+        }
+    }
+    for group in groups {
+        let mut json = format!("{{\"version\":1,\"group\":\"{group}\",\"benches\":[");
+        for (i, r) in records.iter().filter(|r| r.group == group).enumerate() {
+            if i > 0 {
+                json.push(',');
+            }
+            json.push_str(&format!(
+                "{{\"name\":\"{}\",\"mean_ns\":{:.1},\"iters\":{}}}",
+                r.id, r.mean_ns, r.iters
+            ));
+        }
+        json.push_str("]}\n");
+        let path = format!("{dir}/BENCH_{group}.json");
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("criterion shim: cannot write {path}: {e}");
+        }
+    }
 }
 
 /// Identifier for a parameterized benchmark, e.g. `name/parameter`.
@@ -90,6 +148,12 @@ impl BenchmarkGroup<'_> {
             "bench {}/{}: mean {:?} over {} iters",
             self.name, id, b.mean, b.iters
         );
+        registry().lock().unwrap().push(Record {
+            group: self.name.clone(),
+            id: id.to_string(),
+            mean_ns: b.mean.as_secs_f64() * 1e9,
+            iters: b.iters,
+        });
         self
     }
 
@@ -146,6 +210,8 @@ macro_rules! criterion_main {
         fn main() {
             // cargo bench passes flags like `--bench`; the shim has no CLI.
             $( $group(); )+
+            // Persist the trajectory files when PD_BENCH_DIR is set.
+            $crate::write_bench_reports();
         }
     };
 }

@@ -28,6 +28,27 @@ impl<'a, T: Sync> ParSlice<'a, T> {
         }
     }
 
+    /// Map every item through `f` in parallel, with a per-worker `state`
+    /// built by `init` once per worker thread and reused across every item
+    /// that worker processes (rayon's `map_init`).
+    ///
+    /// This is the hook for reusable scratch arenas: `state` needs neither
+    /// `Send` nor `Sync` because it never leaves its worker. Determinism is
+    /// preserved exactly when `f`'s result does not depend on `state`'s
+    /// history — which is the contract scratch buffers satisfy.
+    pub fn map_init<S, R, INIT, F>(self, init: INIT, f: F) -> ParSliceMapInit<'a, T, INIT, F>
+    where
+        R: Send,
+        INIT: Fn() -> S + Sync,
+        F: Fn(&mut S, &'a T) -> R + Sync,
+    {
+        ParSliceMapInit {
+            items: self.items,
+            init,
+            f,
+        }
+    }
+
     /// Run `f` on every item (parallel, no results).
     pub fn for_each<F>(self, f: F)
     where
@@ -73,6 +94,31 @@ where
         pool::run(self.items.len(), |i| (self.f)(&self.items[i]))
             .into_iter()
             .sum()
+    }
+}
+
+/// A mapped-with-state [`ParSlice`] (from
+/// [`map_init`](ParSlice::map_init)), ready to collect.
+pub struct ParSliceMapInit<'a, T, INIT, F> {
+    items: &'a [T],
+    init: INIT,
+    f: F,
+}
+
+impl<'a, T: Sync, INIT, F> ParSliceMapInit<'a, T, INIT, F> {
+    /// Execute the map across the pool, preserving input order. Each worker
+    /// thread builds one state with `init` and reuses it for every item it
+    /// steals.
+    pub fn collect<S, R, C>(self) -> C
+    where
+        R: Send,
+        INIT: Fn() -> S + Sync,
+        F: Fn(&mut S, &'a T) -> R + Sync,
+        C: FromParallelIterator<R>,
+    {
+        C::from_ordered_vec(pool::run_with_init(self.items.len(), self.init, |s, i| {
+            (self.f)(s, &self.items[i])
+        }))
     }
 }
 

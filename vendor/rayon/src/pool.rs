@@ -139,10 +139,30 @@ where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
+    run_with_init(len, || (), move |(), i| f(i))
+}
+
+/// Execute `f(&mut state, i)` for every `i in 0..len`, where every worker
+/// thread builds its own `state` with `init` exactly once and reuses it
+/// across all the chunks it steals (the engine behind `map_init`).
+///
+/// `state` never crosses a thread boundary, so it needs neither `Send` nor
+/// `Sync`; this is what lets callers keep allocation-heavy scratch arenas
+/// warm across work items. Ordering, determinism, panic-propagation, and
+/// single-thread-fallback guarantees are identical to [`run`] — per-worker
+/// state can only affect results if `f` lets it, which deterministic
+/// callers must not.
+pub fn run_with_init<S, R, INIT, F>(len: usize, init: INIT, f: F) -> Vec<R>
+where
+    R: Send,
+    INIT: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> R + Sync,
+{
     let configured = current_num_threads();
     let threads = configured.min(len.max(1));
     if threads <= 1 || len <= 1 {
-        return (0..len).map(f).collect();
+        let mut state = init();
+        return (0..len).map(|i| f(&mut state, i)).collect();
     }
 
     // Small chunks relative to the thread count so stealing load-balances
@@ -154,6 +174,9 @@ where
     let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
 
     let worker = || {
+        // One state per worker, built before the first chunk claim and kept
+        // warm across every chunk this worker steals.
+        let mut state = init();
         while !poisoned.load(Ordering::Relaxed) {
             let start = cursor.fetch_add(chunk, Ordering::Relaxed);
             if start >= len {
@@ -163,7 +186,7 @@ where
             let mut out = Vec::with_capacity(end - start);
             let status = catch_unwind(AssertUnwindSafe(|| {
                 for i in start..end {
-                    out.push(f(i));
+                    out.push(f(&mut state, i));
                 }
             }));
             match status {
