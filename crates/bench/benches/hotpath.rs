@@ -1,7 +1,8 @@
-//! Hot-path micro-benchmarks: the four kernels the sweep engine spends its
+//! Hot-path micro-benchmarks: the five kernels the sweep engine spends its
 //! time in, grouped so the criterion shim's `PD_BENCH_DIR` writer emits one
 //! trajectory snapshot per group (`BENCH_flowsim.json`,
-//! `BENCH_timeline.json`, `BENCH_decode.json`, `BENCH_grid.json`).
+//! `BENCH_timeline.json`, `BENCH_flexgrid.json`, `BENCH_decode.json`,
+//! `BENCH_grid.json`).
 //!
 //! Each group pairs the allocating entry point with its arena-reusing
 //! counterpart (or, for the timeline, the incremental solver with the
@@ -11,6 +12,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use disagg_core::sweep::SweepGrid;
+use fabric::flexgrid::{
+    AdmissionPolicy, DefragPolicy, FlexGridArena, FlexGridConfig, FlexGridSimulator, SpectrumPolicy,
+};
 use fabric::flowsim::{Flow, FlowArena, FlowSimConfig, FlowSimulator};
 use fabric::rackfabric::{FabricKind, RackFabric, RackFabricConfig};
 use fabric::timeline::{ReallocationPolicy, TimelineArena, TimelineConfig, TimelineSimulator};
@@ -113,6 +117,54 @@ fn bench_timeline(c: &mut Criterion) {
     g.finish();
 }
 
+/// `FlexGridSimulator` across the spectrum policies on the elastic-churn
+/// schedule: the incremental spectrum solver (warm-arena `run_in`) against
+/// the from-scratch exhaustive re-solve oracle.
+fn bench_flexgrid(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flexgrid");
+    g.sample_size(10);
+    let fabric = fabric_with(64, FabricKind::ParallelAwgrs);
+    let epochs = DemandTimeline::elastic_churn(600.0, 3).epoch_matrices(64, 11);
+    for policy in [
+        SpectrumPolicy::default(),
+        SpectrumPolicy {
+            admission: AdmissionPolicy::BestFit,
+            defrag: DefragPolicy::OnBlock,
+        },
+        SpectrumPolicy {
+            admission: AdmissionPolicy::ExactFit,
+            defrag: DefragPolicy::EveryEpoch,
+        },
+    ] {
+        let label = policy.label();
+        let config = FlexGridConfig {
+            policy,
+            ..FlexGridConfig::default()
+        };
+        g.bench_with_input(
+            BenchmarkId::new("incremental", &label),
+            &epochs,
+            |b, epochs: &Vec<Vec<Flow>>| {
+                let sim = FlexGridSimulator::new(&fabric, config);
+                let mut arena = FlexGridArena::new();
+                b.iter(|| {
+                    let report = sim.run_in(&mut arena, epochs);
+                    arena.recycle(report)
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("exhaustive_oracle", &label),
+            &epochs,
+            |b, epochs: &Vec<Vec<Flow>>| {
+                let sim = FlexGridSimulator::new(&fabric, config);
+                b.iter(|| sim.run_exhaustive(epochs))
+            },
+        );
+    }
+    g.finish();
+}
+
 /// Scenario decode: expanding a grid's cartesian axes into [`Scenario`]
 /// values and generating each pattern's flow list — the sweep's per-scenario
 /// setup cost before any fabric work runs.
@@ -177,6 +229,7 @@ criterion_group!(
     hotpath,
     bench_flowsim,
     bench_timeline,
+    bench_flexgrid,
     bench_decode,
     bench_grid
 );

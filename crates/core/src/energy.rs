@@ -23,13 +23,21 @@
 //!   regardless of traffic ([`PhotonicPowerModel::switch_power_w`]),
 //!   scaled linearly with rack size.
 //!
+//! * **Modulation-ladder energy** — flex-grid scenarios weight each
+//!   lightpath's wire bits by its modulation rung's
+//!   [`energy_factor`](fabric::ModulationFormat::energy_factor) (and hop
+//!   count), so a spectrally dense 16QAM direct path and a two-hop 8QAM
+//!   detour draw measurably different transceiver energy
+//!   ([`EnergyModel::account_flexgrid`]).
+//!
 //! [`EnergyModel::account_flows`] handles static-pattern scenarios (one
-//! epoch), [`EnergyModel::account_timeline`] temporal ones; both produce an
+//! epoch), [`EnergyModel::account_timeline`] temporal ones, and
+//! [`EnergyModel::account_flexgrid`] elastic-optical ones; all produce an
 //! [`EnergyStats`] that the sweep engine attaches to
 //! [`SweepReport`](crate::report::SweepReport) rows and to the report-level
 //! `energy` block.
 
-use fabric::{FlowSimReport, RackFabricConfig, TimelineReport};
+use fabric::{FlexGridReport, FlowSimReport, RackFabricConfig, TimelineReport};
 use photonics::fec::FecConfig;
 use photonics::power::PhotonicPowerModel;
 use photonics::units::{Bandwidth, Energy};
@@ -309,6 +317,73 @@ impl EnergyModel {
             report.fabric_direct_gbps,
             report.fabric_indirect_gbps,
         )
+    }
+
+    /// Account a flex-grid scenario. Same structure as the wavelength-layer
+    /// accounting, but the wire term follows the modulation ladder: the
+    /// timeline's `direct + 2 × indirect` wire bits are replaced by the
+    /// report's [`wire_weighted_gbps`](FlexGridReport::wire_weighted_gbps)
+    /// (each lightpath's demand × hops × modulation energy factor), and
+    /// reconfiguration energy is charged per spectrum-repack event.
+    ///
+    /// ```
+    /// use disagg_core::energy::{EnergyConfig, EnergyMode, EnergyModel};
+    /// use fabric::{FabricKind, FlexGridConfig, FlexGridSimulator, Flow};
+    /// use fabric::{RackFabric, RackFabricConfig};
+    /// use photonics::fec::FecConfig;
+    ///
+    /// let mut cfg = RackFabricConfig::paper_rack(FabricKind::ParallelAwgrs);
+    /// cfg.mcm_count = 8;
+    /// let fabric = RackFabric::new(cfg);
+    /// let sim = FlexGridSimulator::new(&fabric, FlexGridConfig::default());
+    /// let report = sim.run(&[vec![Flow::new(0, 1, 100.0)]]);
+    ///
+    /// let model = EnergyModel::new(
+    ///     EnergyMode::UtilizationScaled,
+    ///     EnergyConfig::default(),
+    ///     &cfg,
+    ///     &FecConfig::disabled(),
+    /// );
+    /// let stats = model.account_flexgrid(&report);
+    /// // 100 Gbit direct on 16QAM for one second: 100e9 bits × 1 hop ×
+    /// // 2.0 modulation factor × 0.5 pJ/bit = 0.1 J.
+    /// assert!((stats.transceiver_energy_j - 0.1).abs() < 1e-9);
+    /// assert!((stats.payload_gigabits - 100.0).abs() < 1e-9);
+    /// ```
+    pub fn account_flexgrid(&self, report: &FlexGridReport) -> EnergyStats {
+        let duration = report.epochs.len() as f64 * self.config.epoch_duration_s;
+        let direct_bits = report.carried_direct_gbps * 1e9 * self.config.epoch_duration_s;
+        let indirect_bits = report.carried_indirect_gbps * 1e9 * self.config.epoch_duration_s;
+        let wire_payload_bits = report.wire_weighted_gbps * 1e9 * self.config.epoch_duration_s;
+        let wire_total_bits = wire_payload_bits / (1.0 - self.fec_overhead);
+        let ppm = self.photonic_power_model();
+
+        let (transceiver_j, fec_j) = match self.mode {
+            EnergyMode::AlwaysOn => (ppm.transceiver_power_w() * duration, 0.0),
+            EnergyMode::UtilizationScaled => {
+                let capacity_bits = ppm.rack_escape_bandwidth().bps() * duration;
+                let scaled = ppm.utilization_scaled(wire_total_bits / capacity_bits);
+                let wire_energy = scaled.transceiver_power_w() * duration;
+                if wire_total_bits > 0.0 {
+                    let fec_share = (wire_total_bits - wire_payload_bits) / wire_total_bits;
+                    (wire_energy * (1.0 - fec_share), wire_energy * fec_share)
+                } else {
+                    (0.0, 0.0)
+                }
+            }
+        };
+
+        EnergyStats {
+            mode: self.mode,
+            duration_s: duration,
+            payload_gigabits: (direct_bits + indirect_bits) / 1e9,
+            transceiver_energy_j: transceiver_j,
+            fec_energy_j: fec_j,
+            reconfiguration_energy_j: report.defrag_events as f64
+                * self.config.reconfiguration_energy_j,
+            idle_energy_j: ppm.switch_power_w * duration,
+            compute_power_w: self.config.compute_power_per_mcm_w * self.mcm_count as f64,
+        }
     }
 
     /// Core accounting over per-epoch Gbps sums. `direct_gbps` /

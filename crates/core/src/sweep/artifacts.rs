@@ -9,7 +9,7 @@
 //! grid-definition-plus-formatter shims over these functions.
 
 use cpusim::CoreKind;
-use fabric::ReallocationPolicy;
+use fabric::{AdmissionPolicy, DefragPolicy, ReallocationPolicy, SpectrumPolicy};
 use photonics::link::{EscapeSizing, LinkTechnology, LinkTechnologyKind};
 use rack::mcm::RackComposition;
 use workloads::cpu::{rodinia_cpu_gpu_intersection, CpuSuite, InputSize};
@@ -442,6 +442,37 @@ pub fn energy_smoke() -> PaperArtifact {
     PaperArtifact { report, text }
 }
 
+/// The `flexgrid --smoke` grid: a small fixed flex-grid spectrum sweep (the
+/// PR 7 elastic-churn timeline plus a shifting hotspot x three spectrum
+/// policies x both energy modes on a 16-MCM rack) that CI runs end to end
+/// and the golden tests pin as JSON.
+pub fn flexgrid_smoke() -> PaperArtifact {
+    let grid = SweepGrid::named("flexgrid_smoke")
+        .mcm_counts([16])
+        .timelines([
+            // 600 Gbps saturates same-pair links on the 16-MCM board, so the
+            // fixture pins nonzero blocking and fires the on-block defrag
+            // path; the 400 Gbps hotspot is the uncontended contrast.
+            DemandTimeline::elastic_churn(600.0, 2),
+            DemandTimeline::shifting_hotspot(2, 400.0, 4, 2, 5),
+        ])
+        .spectrum_policies([
+            SpectrumPolicy::default(),
+            SpectrumPolicy {
+                admission: AdmissionPolicy::BestFit,
+                defrag: DefragPolicy::OnBlock,
+            },
+            SpectrumPolicy {
+                admission: AdmissionPolicy::ExactFit,
+                defrag: DefragPolicy::EveryEpoch,
+            },
+        ])
+        .energy_modes([EnergyMode::AlwaysOn, EnergyMode::UtilizationScaled]);
+    let report = grid.run();
+    let text = format_sweep_report(&report);
+    PaperArtifact { report, text }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -494,6 +525,25 @@ mod tests {
         assert_eq!(a.report.energy.len(), a.report.rows.len());
         assert!(a.text.contains("energy:"));
         assert_eq!(a.report.to_json(), energy_smoke().report.to_json());
+    }
+
+    #[test]
+    fn flexgrid_smoke_artifact_covers_both_modes_and_all_policies() {
+        let a = flexgrid_smoke();
+        assert_eq!(a.report.rows.len(), 2 * 3 * 2);
+        assert_eq!(a.report.energy.len(), a.report.rows.len());
+        assert!(a.text.contains("energy:"));
+        for row in &a.report.rows {
+            let blocking = row.metric("blocking_probability").unwrap();
+            assert!((0.0..=1.0).contains(&blocking), "blocking {blocking}");
+            assert!(row.metric("slots_in_use").unwrap() > 0.0);
+        }
+        // The churn timeline saturates the board (nonzero blocking, on-block
+        // defrag fires); the hotspot contrast rows stay uncontended.
+        assert!(a.report.rows[0].metric("blocking_probability").unwrap() > 0.0);
+        assert!(a.report.rows[2].metric("defrag_events").unwrap() > 0.0);
+        assert_eq!(a.report.rows[6].metric("blocking_probability"), Some(0.0));
+        assert_eq!(a.report.to_json(), flexgrid_smoke().report.to_json());
     }
 
     #[test]

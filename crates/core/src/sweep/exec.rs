@@ -15,15 +15,15 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use fabric::{
-    FabricKind, Flow, FlowArena, FlowSimConfig, FlowSimulator, RackFabric, RackFabricConfig,
-    TimelineArena, TimelineConfig, TimelineSimulator,
+    FabricKind, FlexGridArena, FlexGridConfig, FlexGridSimulator, Flow, FlowArena, FlowSimConfig,
+    FlowSimulator, RackFabric, RackFabricConfig, TimelineArena, TimelineConfig, TimelineSimulator,
 };
 use rayon::prelude::*;
 
 use crate::energy::{EnergyConfig, EnergyModel};
 use crate::report::{SweepReport, SweepRow, ThroughputStats};
 use crate::sweep::grid::SweepGrid;
-use crate::sweep::scenario::{Scenario, ScenarioLoad, ScenarioResult};
+use crate::sweep::scenario::{FlexGridRowMetrics, Scenario, ScenarioLoad, ScenarioResult};
 
 /// Run `f` over every item, in parallel, preserving input order.
 ///
@@ -84,6 +84,7 @@ where
 pub(super) struct WorkerScratch {
     flow: FlowArena,
     timeline: TimelineArena,
+    flexgrid: FlexGridArena,
 }
 
 impl WorkerScratch {
@@ -91,6 +92,7 @@ impl WorkerScratch {
         WorkerScratch {
             flow: FlowArena::new(),
             timeline: TimelineArena::new(),
+            flexgrid: FlexGridArena::new(),
         }
     }
 }
@@ -500,6 +502,7 @@ pub(super) fn run_scenario(
                 epochs: 1,
                 reconfigurations: 0,
                 energy: energy_model.map(|m| m.account_flows(&report)),
+                flexgrid: None,
             };
             scratch.flow.recycle(report);
             result
@@ -529,8 +532,58 @@ pub(super) fn run_scenario(
                 epochs: report.epochs.len(),
                 reconfigurations: report.reconfigurations,
                 energy: energy_model.map(|m| m.account_timeline(&report)),
+                flexgrid: None,
             };
             scratch.timeline.recycle(report);
+            result
+        }
+        ScenarioLoad::FlexGrid(fc) => {
+            // Flex-grid scenarios share their timeline's seed derivation
+            // with wavelength-timeline scenarios, so the two layers are
+            // graded against the identical epoch-by-epoch demand.
+            let epochs: Vec<Vec<Flow>> = fc
+                .timeline
+                .epoch_matrices(scenario.fabric.mcm_count, scenario.seed);
+            let sim = FlexGridSimulator::new(
+                fabric,
+                FlexGridConfig {
+                    policy: fc.policy,
+                    ..FlexGridConfig::default()
+                },
+            );
+            let report = sim.run_in(&mut scratch.flexgrid, &epochs);
+            let carried = report.carried_gbps();
+            // Demand-weighted mean latency: local and direct demand at the
+            // direct latency, detoured demand pays one extra hop.
+            let mean_latency_ns = if carried > 0.0 {
+                ((report.carried_local_gbps + report.carried_direct_gbps)
+                    * scenario.direct_latency_ns
+                    + report.carried_indirect_gbps * (scenario.direct_latency_ns + indirect_hop_ns))
+                    / carried
+            } else {
+                0.0
+            };
+            let result = ScenarioResult {
+                scenario: scenario.clone(),
+                flows: report.epochs.iter().map(|e| e.flows).sum(),
+                offered_gbps: report.offered_gbps,
+                satisfied_gbps: carried,
+                satisfaction: report.satisfaction(),
+                direct_only_fraction: report.direct_only_fraction,
+                indirect_fraction: report.indirect_fraction,
+                unsatisfied_fraction: report.unsatisfied_fraction,
+                mean_latency_ns,
+                epochs: report.epochs.len(),
+                reconfigurations: report.defrag_events,
+                energy: energy_model.map(|m| m.account_flexgrid(&report)),
+                flexgrid: Some(FlexGridRowMetrics {
+                    blocking_probability: report.blocking_probability(),
+                    fragmentation_index: report.mean_fragmentation_index,
+                    slots_in_use: report.mean_slots_in_use,
+                    defrag_events: report.defrag_events as f64,
+                }),
+            };
+            scratch.flexgrid.recycle(report);
             result
         }
     }

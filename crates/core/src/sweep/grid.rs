@@ -1,13 +1,13 @@
 //! The declarative grid: axis builders and the lazy, O(1)-indexed
 //! [`ScenarioIter`] expansion.
 
-use fabric::{FabricKind, RackFabricConfig, ReallocationPolicy};
+use fabric::{FabricKind, RackFabricConfig, ReallocationPolicy, SpectrumPolicy};
 use photonics::fec::FecConfig;
 use serde::{Deserialize, Serialize};
 use workloads::{DemandTimeline, TrafficPattern};
 
 use crate::energy::{EnergyConfig, EnergyMode};
-use crate::sweep::scenario::{scenario_seed, Scenario, ScenarioLoad, TimelineCase};
+use crate::sweep::scenario::{scenario_seed, FlexGridCase, Scenario, ScenarioLoad, TimelineCase};
 
 /// A declarative cartesian scenario grid.
 ///
@@ -62,8 +62,13 @@ pub struct SweepGrid {
     /// axis is ignored.
     pub timelines: Vec<DemandTimeline>,
     /// Wavelength-reallocation policies swept against each timeline. Only
-    /// meaningful when `timelines` is non-empty.
+    /// meaningful when `timelines` is non-empty and `spectrum_policies` is
+    /// empty.
     pub realloc_policies: Vec<ReallocationPolicy>,
+    /// Flex-grid spectrum policies. When non-empty (and `timelines` is too),
+    /// the grid switches to the elastic-optical layer: the load axis becomes
+    /// `timelines x spectrum_policies` and `realloc_policies` is ignored.
+    pub spectrum_policies: Vec<SpectrumPolicy>,
     /// One-way direct fabric latencies in nanoseconds.
     pub direct_latencies_ns: Vec<f64>,
     /// Energy-accounting modes to sweep (always-on vs utilization-scaled
@@ -99,6 +104,7 @@ impl Default for SweepGrid {
             }],
             timelines: Vec::new(),
             realloc_policies: vec![ReallocationPolicy::GreedyResteer],
+            spectrum_policies: Vec::new(),
             direct_latencies_ns: vec![35.0],
             energy_modes: Vec::new(),
             energy_config: EnergyConfig::default(),
@@ -177,6 +183,32 @@ impl SweepGrid {
         self
     }
 
+    /// Set the flex-grid spectrum-policy axis. With a non-empty timeline
+    /// axis this switches the grid onto the elastic-optical spectrum layer:
+    /// the load axis becomes `timelines x spectrum_policies`, rows gain
+    /// blocking-probability / fragmentation / slots-in-use metrics, and
+    /// `realloc_policies` is ignored.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use disagg_core::sweep::SweepGrid;
+    /// use fabric::SpectrumPolicy;
+    /// use workloads::DemandTimeline;
+    ///
+    /// let report = SweepGrid::named("fg")
+    ///     .mcm_counts([16])
+    ///     .timelines([DemandTimeline::elastic_churn(300.0, 2)])
+    ///     .spectrum_policies([SpectrumPolicy::parse("firstfit").unwrap()])
+    ///     .run();
+    /// assert_eq!(report.rows.len(), 1);
+    /// assert!(report.rows[0].metric("blocking_probability").is_some());
+    /// ```
+    pub fn spectrum_policies(mut self, policies: impl IntoIterator<Item = SpectrumPolicy>) -> Self {
+        self.spectrum_policies = policies.into_iter().collect();
+        self
+    }
+
     /// Set the direct-latency axis (ns).
     pub fn direct_latencies_ns(mut self, latencies: impl IntoIterator<Item = f64>) -> Self {
         self.direct_latencies_ns = latencies.into_iter().collect();
@@ -230,12 +262,25 @@ impl SweepGrid {
     }
 
     /// The load axis the grid sweeps: the traffic patterns, or — in
-    /// temporal mode — every timeline under every reallocation policy.
+    /// temporal mode — every timeline under every reallocation policy (or,
+    /// when the spectrum axis is set, every flex-grid spectrum policy).
     pub fn loads(&self) -> Vec<ScenarioLoad> {
         if self.timelines.is_empty() {
             self.patterns
                 .iter()
                 .map(|&p| ScenarioLoad::Pattern(p))
+                .collect()
+        } else if !self.spectrum_policies.is_empty() {
+            self.timelines
+                .iter()
+                .flat_map(|t| {
+                    self.spectrum_policies.iter().map(move |&policy| {
+                        ScenarioLoad::FlexGrid(FlexGridCase {
+                            timeline: t.clone(),
+                            policy,
+                        })
+                    })
+                })
                 .collect()
         } else {
             self.timelines
@@ -257,6 +302,8 @@ impl SweepGrid {
     pub fn scenario_count(&self) -> usize {
         let loads = if self.timelines.is_empty() {
             self.patterns.len()
+        } else if !self.spectrum_policies.is_empty() {
+            self.timelines.len() * self.spectrum_policies.len()
         } else {
             self.timelines.len() * self.realloc_policies.len()
         };

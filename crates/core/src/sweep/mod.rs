@@ -17,7 +17,8 @@
 //!   identical demand matrix), [`ScenarioLoad`] (static
 //!   [`TrafficPattern`](workloads::TrafficPattern) matrices or phased
 //!   [`DemandTimeline`](workloads::DemandTimeline)s under each swept
-//!   reallocation policy), and [`ScenarioResult`].
+//!   reallocation policy, or flex-grid spectrum runs under each swept
+//!   [`SpectrumPolicy`](fabric::SpectrumPolicy)), and [`ScenarioResult`].
 //! * [`exec`](self) — the execution layer: [`parallel_map`] and
 //!   [`parallel_map_with`], the engine's order-preserving parallel
 //!   primitives on the vendored chunk-stealing thread pool (the latter
@@ -45,13 +46,16 @@ pub mod artifacts;
 
 pub use exec::{configure_threads, parallel_map, parallel_map_with, StreamConfig};
 pub use grid::{ScenarioIter, SweepGrid};
-pub use scenario::{fabric_kind_label, Scenario, ScenarioLoad, ScenarioResult, TimelineCase};
+pub use scenario::{
+    fabric_kind_label, FlexGridCase, FlexGridRowMetrics, Scenario, ScenarioLoad, ScenarioResult,
+    TimelineCase,
+};
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::energy::{EnergyConfig, EnergyMode};
-    use fabric::{FabricKind, ReallocationPolicy};
+    use fabric::{AdmissionPolicy, DefragPolicy, FabricKind, ReallocationPolicy, SpectrumPolicy};
     use workloads::{DemandTimeline, TrafficPattern};
 
     fn small_grid() -> SweepGrid {
@@ -456,6 +460,111 @@ mod tests {
         let grid = timeline_grid().realloc_policies([]);
         assert_eq!(grid.scenario_count(), 0);
         assert!(grid.run().rows.is_empty());
+    }
+
+    fn flexgrid_grid() -> SweepGrid {
+        SweepGrid::named("fg")
+            .mcm_counts([16])
+            .timelines([
+                DemandTimeline::elastic_churn(300.0, 2),
+                DemandTimeline::steady(TrafficPattern::Permutation { demand_gbps: 200.0 }, 4),
+            ])
+            .spectrum_policies([
+                SpectrumPolicy::default(),
+                SpectrumPolicy {
+                    admission: AdmissionPolicy::BestFit,
+                    defrag: DefragPolicy::OnBlock,
+                },
+                SpectrumPolicy {
+                    admission: AdmissionPolicy::ExactFit,
+                    defrag: DefragPolicy::EveryEpoch,
+                },
+            ])
+    }
+
+    #[test]
+    fn flexgrid_axis_expands_timelines_times_spectrum_policies() {
+        let grid = flexgrid_grid();
+        assert_eq!(grid.scenario_count(), 2 * 3);
+        let report = grid.run();
+        assert_eq!(report.rows.len(), 6);
+        for row in &report.rows {
+            assert!(row.metric("epochs").unwrap() >= 4.0);
+            let blocking = row.metric("blocking_probability").unwrap();
+            assert!((0.0..=1.0).contains(&blocking), "blocking {blocking}");
+            let frag = row.metric("fragmentation_index").unwrap();
+            assert!((0.0..=1.0).contains(&frag), "frag {frag}");
+            assert!(row.metric("slots_in_use").unwrap() >= 0.0);
+            assert!(row.metric("defrag_events").unwrap() >= 0.0);
+        }
+        // The realloc-policy axis is ignored in spectrum mode.
+        let same = flexgrid_grid()
+            .realloc_policies([ReallocationPolicy::GreedyResteer])
+            .run();
+        assert_eq!(same.to_json(), report.to_json());
+    }
+
+    #[test]
+    fn flexgrid_policies_share_the_scenario_seed_with_each_other_and_timelines() {
+        // The spectrum-policy axis must not resample the demand: every policy
+        // of a timeline sees identical epoch matrices, and the flex-grid
+        // layer is graded under the same demand as the wavelength layer.
+        let scenarios = flexgrid_grid().expand();
+        assert_eq!(scenarios[0].seed, scenarios[1].seed);
+        assert_eq!(scenarios[1].seed, scenarios[2].seed);
+        assert_ne!(scenarios[0].seed, scenarios[3].seed);
+        let timeline_twin = SweepGrid::named("fg")
+            .mcm_counts([16])
+            .timelines([DemandTimeline::elastic_churn(300.0, 2)])
+            .realloc_policies([ReallocationPolicy::Static])
+            .expand();
+        assert_eq!(scenarios[0].seed, timeline_twin[0].seed);
+        let report = flexgrid_grid().run();
+        assert_eq!(
+            report.rows[0].metric("offered_gbps"),
+            report.rows[1].metric("offered_gbps")
+        );
+    }
+
+    #[test]
+    fn flexgrid_runs_are_deterministic_and_parallel_equals_serial() {
+        let grid = flexgrid_grid();
+        assert_eq!(grid.run().to_json(), grid.run().to_json());
+        assert_eq!(grid.run(), grid.run_serial());
+    }
+
+    #[test]
+    fn empty_spectrum_axis_falls_back_to_realloc_mode() {
+        let grid = flexgrid_grid().spectrum_policies([]);
+        // With no spectrum policies the timeline axis reverts to the
+        // wavelength-layer realloc sweep (default Static policy).
+        assert_eq!(grid.scenario_count(), 2);
+        let report = grid.run();
+        assert_eq!(report.rows.len(), 2);
+        for row in &report.rows {
+            assert_eq!(row.metric("blocking_probability"), None);
+        }
+    }
+
+    #[test]
+    fn flexgrid_energy_scales_with_the_modulation_ladder() {
+        let grid = flexgrid_grid().energy_modes([EnergyMode::UtilizationScaled]);
+        assert_eq!(grid.scenario_count(), 2 * 3);
+        let report = grid.run();
+        assert_eq!(report.energy.len(), report.rows.len());
+        for row in &report.rows {
+            assert!(row.metric("energy_j").unwrap() > 0.0);
+        }
+        // The repack policy defragments every epoch after the first, so its
+        // reconfiguration energy is charged per defrag event.
+        let repack = &report.rows[2];
+        assert!(
+            (repack.metric("reconfiguration_energy_j").unwrap()
+                - repack.metric("defrag_events").unwrap()
+                    * EnergyConfig::default().reconfiguration_energy_j)
+                .abs()
+                < 1e-9
+        );
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! ([`ScenarioLoad`]), its executed result ([`ScenarioResult`]), and the
 //! position-independent seed derivation shared by every axis sweep.
 
-use fabric::{FabricKind, RackFabricConfig, ReallocationPolicy};
+use fabric::{FabricKind, RackFabricConfig, ReallocationPolicy, SpectrumPolicy};
 use photonics::fec::FecConfig;
 use serde::{Deserialize, Serialize};
 use workloads::{DemandTimeline, TrafficPattern};
@@ -19,6 +19,9 @@ pub enum ScenarioLoad {
     Pattern(TrafficPattern),
     /// A temporal demand timeline with its reallocation policy.
     Timeline(TimelineCase),
+    /// A temporal demand timeline executed on the flex-grid spectrum layer
+    /// under a spectrum admission/defragmentation policy.
+    FlexGrid(FlexGridCase),
 }
 
 impl ScenarioLoad {
@@ -28,6 +31,9 @@ impl ScenarioLoad {
             ScenarioLoad::Pattern(p) => p.label(),
             ScenarioLoad::Timeline(tc) => {
                 format!("{}~{}", tc.timeline.name, tc.policy.label())
+            }
+            ScenarioLoad::FlexGrid(fc) => {
+                format!("{}~{}", fc.timeline.name, fc.policy.label())
             }
         }
     }
@@ -42,6 +48,31 @@ pub struct TimelineCase {
     pub timeline: DemandTimeline,
     /// The wavelength-reallocation policy.
     pub policy: ReallocationPolicy,
+}
+
+/// One point on the flex-grid load axis: a timeline and the spectrum policy
+/// it runs under. Like [`TimelineCase`] policies, spectrum policies are
+/// *excluded* from the scenario seed — every policy (and the wavelength
+/// layer itself) is graded against the identical epoch-by-epoch demand.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlexGridCase {
+    /// The phased demand schedule.
+    pub timeline: DemandTimeline,
+    /// The spectrum admission/defragmentation policy.
+    pub policy: SpectrumPolicy,
+}
+
+/// Flex-grid-specific per-row metrics carried by [`ScenarioResult`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlexGridRowMetrics {
+    /// Blocked requests / non-trivial requests across the timeline.
+    pub blocking_probability: f64,
+    /// Mean over epochs of the per-link external fragmentation index.
+    pub fragmentation_index: f64,
+    /// Mean over epochs of frequency slots booked across all links.
+    pub slots_in_use: f64,
+    /// Number of epochs that triggered a full spectrum repack.
+    pub defrag_events: f64,
 }
 
 /// One expanded grid point.
@@ -119,6 +150,11 @@ impl Scenario {
                 params.push(("policy".into(), tc.policy.label()));
                 params.push(("epochs".into(), tc.timeline.total_epochs().to_string()));
             }
+            ScenarioLoad::FlexGrid(fc) => {
+                params.push(("timeline".into(), fc.timeline.name.clone()));
+                params.push(("spectrum".into(), fc.policy.label()));
+                params.push(("epochs".into(), fc.timeline.total_epochs().to_string()));
+            }
         }
         if let Some(mode) = self.energy_mode {
             params.push(("energy".into(), mode.label().into()));
@@ -170,6 +206,9 @@ pub struct ScenarioResult {
     pub reconfigurations: usize,
     /// Energy accounting, present iff the scenario carries an energy mode.
     pub energy: Option<EnergyStats>,
+    /// Flex-grid spectrum metrics, present iff the load is a
+    /// [`ScenarioLoad::FlexGrid`].
+    pub flexgrid: Option<FlexGridRowMetrics>,
 }
 
 impl ScenarioResult {
@@ -196,6 +235,13 @@ impl ScenarioResult {
         if matches!(self.scenario.load, ScenarioLoad::Timeline(_)) {
             metrics.push(("epochs".to_string(), self.epochs as f64));
             metrics.push(("reconfigurations".to_string(), self.reconfigurations as f64));
+        }
+        if let Some(fg) = &self.flexgrid {
+            metrics.push(("epochs".to_string(), self.epochs as f64));
+            metrics.push(("blocking_probability".to_string(), fg.blocking_probability));
+            metrics.push(("fragmentation_index".to_string(), fg.fragmentation_index));
+            metrics.push(("slots_in_use".to_string(), fg.slots_in_use));
+            metrics.push(("defrag_events".to_string(), fg.defrag_events));
         }
         if let Some(e) = &self.energy {
             metrics.push(("energy_j".to_string(), e.total_joules()));
@@ -241,6 +287,14 @@ pub(super) fn scenario_seed(base: u64, mcm_count: u32, load: &ScenarioLoad, repl
         ScenarioLoad::Timeline(tc) => {
             h.write_str("timeline:");
             h.write_str(&tc.timeline.spec_label());
+        }
+        // Flex-grid cases hash exactly like wavelength-timeline cases (the
+        // spectrum policy is excluded, like the reallocation policy), so the
+        // two layers — and every policy within each — share each timeline's
+        // epoch-by-epoch demand.
+        ScenarioLoad::FlexGrid(fc) => {
+            h.write_str("timeline:");
+            h.write_str(&fc.timeline.spec_label());
         }
     }
     h.write_u64(replicate as u64);

@@ -22,6 +22,11 @@
 //!   persistent wavelength assignment under static / greedy-re-steer /
 //!   hysteresis reallocation policies (the Section VI-A bandwidth-steering
 //!   argument made quantitative).
+//! * [`flexgrid`] — an elastic optical spectrum layer over the same
+//!   topologies: 12.5 GHz frequency slots per MCM pair, K-shortest-path
+//!   candidate routing, a reach-limited modulation ladder, guardband
+//!   enforcement, and a first-fit / best-fit / exact-fit × defragmentation
+//!   policy zoo with an in-tree exhaustive oracle.
 //! * [`electronic`] — PCIe Gen5 tree / Anton 3 / Rosetta-class electronic
 //!   switch latency and bandwidth models (the 85 ns comparison point of
 //!   Fig. 12).
@@ -37,6 +42,7 @@
 pub mod awgr;
 pub mod demand;
 pub mod electronic;
+pub mod flexgrid;
 pub mod flowsim;
 pub mod rackfabric;
 pub mod routing;
@@ -45,6 +51,11 @@ pub mod timeline;
 pub use awgr::Awgr;
 pub use demand::DemandMatrix;
 pub use electronic::{ElectronicFabric, ElectronicSwitchKind};
+pub use flexgrid::{
+    link_slot_budget, modulation_for_hops, AdmissionPolicy, DefragPolicy, FlexEpochResult,
+    FlexGridArena, FlexGridConfig, FlexGridReport, FlexGridSimulator, Lightpath, ModulationFormat,
+    SpectrumAllocator, SpectrumPolicy, MODULATION_LADDER,
+};
 pub use flowsim::{Flow, FlowArena, FlowSimConfig, FlowSimReport, FlowSimulator};
 pub use rackfabric::{FabricKind, FabricReport, RackFabric, RackFabricConfig};
 pub use routing::{IndirectRouter, OccupancyBoard, RouteDecision, RoutingStats};

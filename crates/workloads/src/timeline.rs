@@ -307,6 +307,43 @@ impl DemandTimeline {
         tl
     }
 
+    /// A spectrum-churn timeline for the flex-grid layer: a uniform
+    /// background, a ramp into a doubled permutation, a rotated incast, and
+    /// a drain ramp. The per-epoch demand changes under the ramps, so a
+    /// keep-in-place spectrum policy must release and re-admit lightpaths
+    /// every epoch — exactly the workload that fragments a spectrum board
+    /// and separates the admission/defragmentation policies.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use workloads::DemandTimeline;
+    ///
+    /// let tl = DemandTimeline::elastic_churn(300.0, 2);
+    /// assert_eq!(tl.name, "elastic-churn");
+    /// assert_eq!(tl.total_epochs(), 8);
+    /// // Ramps really change demand epoch to epoch (that's the churn).
+    /// let a = tl.flows_at(2, 16, 7)[0].demand_gbps;
+    /// let b = tl.flows_at(3, 16, 7)[0].demand_gbps;
+    /// assert_ne!(a, b);
+    /// ```
+    pub fn elastic_churn(demand_gbps: f64, epochs_per_phase: u32) -> Self {
+        let uniform = TrafficPattern::Uniform {
+            flows_per_mcm: 2,
+            demand_gbps,
+        };
+        let permutation = TrafficPattern::Permutation { demand_gbps };
+        let incast = TrafficPattern::HotSpot {
+            hot_mcms: 4,
+            demand_gbps,
+        };
+        DemandTimeline::named("elastic-churn")
+            .phase(uniform, epochs_per_phase)
+            .ramp(permutation, epochs_per_phase, 1.0, 2.0)
+            .push(Phase::flat(incast, epochs_per_phase).rotated(3))
+            .ramp(permutation, epochs_per_phase, 2.0, 0.5)
+    }
+
     /// A CPU/GPU-mix timeline derived from the workload registries: a
     /// CPU-style halo-exchange phase, a ramp into a GPU-style phase whose
     /// demand scale is the registry's mean HBM transactions per instruction
@@ -484,6 +521,7 @@ mod tests {
             demo(),
             DemandTimeline::shifting_hotspot(4, 300.0, 3, 2, 4),
             DemandTimeline::hpc_mix(150.0, 2),
+            DemandTimeline::elastic_churn(300.0, 2),
         ] {
             let all = tl.epoch_matrices(16, 11);
             assert_eq!(all.len(), tl.total_epochs() as usize);
@@ -491,6 +529,22 @@ mod tests {
                 assert_eq!(*matrix, tl.flows_at(e as u32, 16, 11), "epoch {e}");
             }
         }
+    }
+
+    #[test]
+    fn elastic_churn_ramps_change_demand_every_epoch() {
+        let tl = DemandTimeline::elastic_churn(300.0, 3);
+        assert_eq!(tl.phases.len(), 4);
+        assert_eq!(tl.total_epochs(), 12);
+        // The ramp phases must produce distinct demand bit patterns epoch to
+        // epoch so a keep-in-place consumer sees genuine churn.
+        let ramp_epochs: Vec<f64> = (3..6)
+            .map(|e| tl.flows_at(e, 16, 7)[0].demand_gbps)
+            .collect();
+        assert_ne!(ramp_epochs[0].to_bits(), ramp_epochs[1].to_bits());
+        assert_ne!(ramp_epochs[1].to_bits(), ramp_epochs[2].to_bits());
+        // The incast phase is rotated away from the identity hot set.
+        assert_eq!(tl.phases[2].dst_rotation, 3);
     }
 
     #[test]

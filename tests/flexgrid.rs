@@ -1,0 +1,183 @@
+//! The incremental flex-grid spectrum solver against its exhaustive oracle.
+//!
+//! `FlexGridSimulator::run` (and the arena-reusing `run_in`) keeps a flat
+//! per-fiber frequency-slot occupancy board alive between epochs, releasing
+//! and re-admitting only the lightpaths whose flows changed;
+//! `run_exhaustive` rebuilds every epoch's board from scratch through an
+//! independent HashMap-backed occupancy path. The determinism contract
+//! requires the two to agree *exactly* — same floats, same blocking and
+//! fragmentation metrics, same per-epoch rows — for every admission x
+//! defragmentation policy and every demand schedule. These tests pin that
+//! equivalence over the canned workload timelines (including the
+//! spectrum-churn schedule built for this layer) and, via proptest, over
+//! randomized phase sequences with duplicate-pair and self-directed flows
+//! thrown in, then check the sweep axis end to end through the umbrella
+//! crate.
+
+use photonic_disagg::core::sweep::SweepGrid;
+use photonic_disagg::fabric::flexgrid::{
+    AdmissionPolicy, DefragPolicy, FlexGridArena, FlexGridConfig, FlexGridSimulator, SpectrumPolicy,
+};
+use photonic_disagg::fabric::flowsim::Flow;
+use photonic_disagg::fabric::rackfabric::{FabricKind, RackFabric, RackFabricConfig};
+use photonic_disagg::workloads::timeline::DemandTimeline;
+use photonic_disagg::workloads::TrafficPattern;
+use proptest::prelude::*;
+
+fn fabric(mcms: u32) -> RackFabric {
+    let mut cfg = RackFabricConfig::paper_rack(FabricKind::ParallelAwgrs);
+    cfg.mcm_count = mcms;
+    RackFabric::new(cfg)
+}
+
+/// The full admission x defragmentation policy product.
+fn all_policies() -> Vec<SpectrumPolicy> {
+    let mut policies = Vec::new();
+    for admission in [
+        AdmissionPolicy::FirstFit,
+        AdmissionPolicy::BestFit,
+        AdmissionPolicy::ExactFit,
+    ] {
+        for defrag in [
+            DefragPolicy::Never,
+            DefragPolicy::OnBlock,
+            DefragPolicy::EveryEpoch,
+        ] {
+            policies.push(SpectrumPolicy { admission, defrag });
+        }
+    }
+    policies
+}
+
+/// Run one schedule under one policy through the incremental solver (fresh
+/// arena and a deliberately dirty reused arena) and the exhaustive oracle,
+/// requiring bit-exact equality.
+fn assert_matches_oracle(fabric: &RackFabric, epochs: &[Vec<Flow>], policy: SpectrumPolicy) {
+    let sim = FlexGridSimulator::new(
+        fabric,
+        FlexGridConfig {
+            policy,
+            ..FlexGridConfig::default()
+        },
+    );
+    let oracle = sim.run_exhaustive(epochs);
+    assert_eq!(sim.run(epochs), oracle, "run diverged under {policy:?}");
+
+    let mut arena = FlexGridArena::new();
+    assert_eq!(
+        sim.run_in(&mut arena, epochs),
+        oracle,
+        "fresh-arena run_in diverged under {policy:?}"
+    );
+    // The arena now carries the previous run's occupancy board and carried
+    // lightpaths; a second pass must still match (prepare() has to
+    // neutralize every stale slot).
+    assert_eq!(
+        sim.run_in(&mut arena, epochs),
+        oracle,
+        "dirty-arena run_in diverged under {policy:?}"
+    );
+}
+
+/// Every canned workload schedule, every spectrum policy: the incremental
+/// solver is indistinguishable from exhaustive re-solving.
+#[test]
+fn incremental_spectrum_solver_matches_oracle_on_canned_schedules() {
+    let fabric = fabric(24);
+    let schedules = [
+        DemandTimeline::elastic_churn(600.0, 2),
+        DemandTimeline::shifting_hotspot(4, 500.0, 3, 2, 5),
+        DemandTimeline::steady(
+            TrafficPattern::HotSpot {
+                hot_mcms: 4,
+                demand_gbps: 600.0,
+            },
+            4,
+        ),
+    ];
+    for schedule in &schedules {
+        let epochs = schedule.epoch_matrices(24, 17);
+        for policy in all_policies() {
+            assert_matches_oracle(&fabric, &epochs, policy);
+        }
+    }
+}
+
+/// Duplicate src/dst pairs, self-directed flows, and out-of-range endpoints
+/// hit the sanitize and blocking paths; the equivalence must survive all of
+/// them.
+#[test]
+fn incremental_spectrum_solver_matches_oracle_with_degenerate_flows() {
+    let fabric = fabric(12);
+    let mut epochs = DemandTimeline::shifting_hotspot(2, 400.0, 3, 2, 3).epoch_matrices(12, 3);
+    for (i, epoch) in epochs.iter_mut().enumerate() {
+        epoch.push(Flow::new(0, 9, 75.0));
+        epoch.push(Flow::new(0, 9, 25.0 + i as f64));
+        epoch.push(Flow::new(3, 3, 50.0)); // Self-flow: carried locally.
+        epoch.push(Flow::new(0, 40, 100.0)); // Endpoint past the rack: blocked.
+    }
+    for policy in all_policies() {
+        assert_matches_oracle(&fabric, &epochs, policy);
+    }
+}
+
+/// The sweep-level spectrum axis through the umbrella crate: deterministic
+/// bytes, and the parallel executor agrees with the serial one.
+#[test]
+fn flexgrid_sweep_axis_is_deterministic_through_the_umbrella() {
+    let grid = SweepGrid::named("it-fg")
+        .mcm_counts([16])
+        .timelines([DemandTimeline::elastic_churn(600.0, 2)])
+        .spectrum_policies([
+            SpectrumPolicy::default(),
+            SpectrumPolicy {
+                admission: AdmissionPolicy::BestFit,
+                defrag: DefragPolicy::OnBlock,
+            },
+        ]);
+    let report = grid.run();
+    assert_eq!(report.rows.len(), 2);
+    for row in &report.rows {
+        assert!(row.metric("blocking_probability").is_some());
+        assert!(row.metric("fragmentation_index").is_some());
+    }
+    assert_eq!(report.to_json(), grid.run().to_json());
+    assert_eq!(report, grid.run_serial());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Randomized phase sequences: arbitrary pattern per phase, arbitrary
+    /// phase lengths and demands, hot sets that repeat or alternate. The
+    /// incremental board must track the oracle exactly through every
+    /// release/re-admit/defragment decision the sequence induces.
+    #[test]
+    fn incremental_spectrum_solver_matches_oracle_on_random_phases(
+        seed in 0u64..1_000,
+        policy_idx in 0usize..9,
+        n_phases in 1usize..4,
+        epochs_per_phase in 1u32..3,
+        demand in 50.0f64..2_000.0,
+    ) {
+        let mcms = 16;
+        let fabric = fabric(mcms);
+        let mut timeline = DemandTimeline::named("prop");
+        for p in 0..n_phases {
+            // Pseudo-random but seed-reproducible pattern choice per phase.
+            let pick = (seed + 31 * p as u64) % 4;
+            let pattern = match pick {
+                0 => TrafficPattern::HotSpot {
+                    hot_mcms: 1 + (seed % 3) as u32,
+                    demand_gbps: demand,
+                },
+                1 => TrafficPattern::Permutation { demand_gbps: demand },
+                2 => TrafficPattern::Uniform { flows_per_mcm: 2, demand_gbps: demand },
+                _ => TrafficPattern::NearestNeighbor { neighbors: 2, demand_gbps: demand },
+            };
+            timeline = timeline.phase(pattern, epochs_per_phase);
+        }
+        let epochs = timeline.epoch_matrices(mcms, seed);
+        assert_matches_oracle(&fabric, &epochs, all_policies()[policy_idx]);
+    }
+}

@@ -94,6 +94,14 @@ fn energy_smoke_json_matches_golden() {
 }
 
 #[test]
+fn flexgrid_smoke_json_matches_golden() {
+    check(
+        "flexgrid_smoke",
+        artifacts::flexgrid_smoke().report.to_json(),
+    );
+}
+
+#[test]
 fn table3_json_matches_golden() {
     check("table3", artifacts::table3().report.to_json());
 }
@@ -117,6 +125,10 @@ fn golden_fixtures_are_byte_identical_at_1_2_and_8_threads() {
                     artifacts::power_overhead().report.to_json(),
                 ),
                 ("energy_smoke", artifacts::energy_smoke().report.to_json()),
+                (
+                    "flexgrid_smoke",
+                    artifacts::flexgrid_smoke().report.to_json(),
+                ),
             ] {
                 check(name, json);
             }

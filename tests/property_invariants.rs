@@ -2,13 +2,20 @@
 //! all-to-all property at arbitrary sizes, conservation of wavelength
 //! capacity in the flow simulator, monotonicity of the CPU and GPU timing
 //! models in the added latency, monotonicity and boundedness of
-//! utilization-scaled energy in the offered load, and MCM packing
-//! preserving escape bandwidth.
+//! utilization-scaled energy in the offered load, MCM packing preserving
+//! escape bandwidth, and the flex-grid spectrum allocator's structural
+//! invariants (no double-booked slots, contiguous guarded blocks, monotone
+//! carried bandwidth, release/re-admit round trips).
+
+use std::collections::HashMap;
 
 use photonic_disagg::core::energy::EnergyMode;
 use photonic_disagg::core::sweep::SweepGrid;
 use photonic_disagg::cpusim::{CoreKind, CpuConfig, Simulator};
 use photonic_disagg::fabric::awgr::Awgr;
+use photonic_disagg::fabric::flexgrid::{
+    AdmissionPolicy, FlexGridConfig, Lightpath, SpectrumAllocator, SpectrumPolicy,
+};
 use photonic_disagg::fabric::flowsim::{Flow, FlowSimConfig, FlowSimulator};
 use photonic_disagg::fabric::rackfabric::{FabricKind, RackFabric, RackFabricConfig};
 use photonic_disagg::fabric::timeline::{ReallocationPolicy, TimelineConfig, TimelineSimulator};
@@ -20,6 +27,62 @@ use photonic_disagg::workloads::gpu::gpu_applications;
 use photonic_disagg::workloads::patterns::{AccessPattern, PatternParams};
 use photonic_disagg::workloads::TrafficPattern;
 use proptest::prelude::*;
+
+/// The ordered rack links a lightpath occupies.
+fn lightpath_links(lp: &Lightpath) -> Vec<(u32, u32)> {
+    match lp.via {
+        Some(m) => vec![(lp.src, m), (m, lp.dst)],
+        None => vec![(lp.src, lp.dst)],
+    }
+}
+
+/// Structural soundness of a spectrum board: every active lightpath holds an
+/// in-bounds contiguous block with its trailing guardband, no (link, slot)
+/// is booked twice, the occupancy bitmap is exactly the union of the active
+/// blocks, and data regions sharing a link are guardband-separated.
+fn assert_spectrum_board_sound(alloc: &SpectrumAllocator, guard_slots: u32) {
+    let slots = alloc.slots_per_link();
+    let mut booked: HashMap<(u32, u32), Vec<Option<usize>>> = HashMap::new();
+    for (i, lp) in alloc.active_lightpaths().iter().enumerate() {
+        assert_eq!(lp.slot_count, lp.data_slots + guard_slots);
+        assert!(lp.data_slots >= 1);
+        assert!(lp.first_slot + lp.slot_count <= slots);
+        for link in lightpath_links(lp) {
+            let board = booked
+                .entry(link)
+                .or_insert_with(|| vec![None; slots as usize]);
+            for s in lp.first_slot..lp.first_slot + lp.slot_count {
+                assert!(
+                    board[s as usize].is_none(),
+                    "slot {s} on link {link:?} booked by lightpaths {:?} and {i}",
+                    board[s as usize]
+                );
+                board[s as usize] = Some(i);
+            }
+        }
+    }
+    let active = alloc.active_lightpaths();
+    for (link, board) in &booked {
+        let expect: Vec<u32> = (0..slots)
+            .filter(|&s| board[s as usize].is_some())
+            .collect();
+        assert_eq!(alloc.occupied_slots(link.0, link.1), expect);
+        // Trailing guardbands keep the data regions of distinct lightpaths
+        // at least `guard_slots` apart on every shared link.
+        let mut data: Vec<(u32, u32)> = active
+            .iter()
+            .filter(|lp| lightpath_links(lp).contains(link))
+            .map(|lp| (lp.first_slot, lp.first_slot + lp.data_slots))
+            .collect();
+        data.sort_unstable();
+        for pair in data.windows(2) {
+            assert!(
+                pair[1].0 >= pair[0].1 + guard_slots,
+                "data blocks {pair:?} closer than the {guard_slots}-slot guard"
+            );
+        }
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -257,6 +320,105 @@ proptest! {
         let always = report.rows[1].metric("energy_j").unwrap();
         prop_assert!(util <= always + 1e-6, "util {util} J > always-on {always} J");
         prop_assert!(util.is_finite() && util >= 0.0);
+    }
+
+    /// Pseudo-random admit sequences keep the spectrum board structurally
+    /// sound under every admission rule, and the carried bandwidth never
+    /// decreases across admissions (an admit either books a lightpath for
+    /// the full sanitized demand or changes nothing).
+    #[test]
+    fn flexgrid_admissions_keep_the_board_sound(
+        seed in 0u64..1_000,
+        n_flows in 1usize..40,
+        demand in 25.0f64..2_500.0,
+        admission_idx in 0usize..3,
+    ) {
+        let mut cfg = RackFabricConfig::paper_rack(FabricKind::ParallelAwgrs);
+        cfg.mcm_count = 12;
+        let fabric = RackFabric::new(cfg);
+        let config = FlexGridConfig {
+            policy: SpectrumPolicy {
+                admission: [
+                    AdmissionPolicy::FirstFit,
+                    AdmissionPolicy::BestFit,
+                    AdmissionPolicy::ExactFit,
+                ][admission_idx],
+                ..SpectrumPolicy::default()
+            },
+            ..FlexGridConfig::default()
+        };
+        let mut alloc = SpectrumAllocator::new(&fabric, config);
+        let mut carried = 0.0;
+        for i in 0..n_flows {
+            let src = ((seed + 5 * i as u64) % 12) as u32;
+            let dst = ((seed + 7 * i as u64 + 1) % 12) as u32;
+            let granted = alloc.admit(Flow::new(src, dst, demand));
+            prop_assert!(alloc.carried_gbps() >= carried);
+            if let Some(lp) = granted {
+                prop_assert_eq!(lp.demand_gbps, demand);
+                prop_assert!(alloc.carried_gbps() > carried);
+            } else {
+                prop_assert_eq!(alloc.carried_gbps(), carried);
+            }
+            carried = alloc.carried_gbps();
+            assert_spectrum_board_sound(&alloc, config.guard_slots);
+        }
+    }
+
+    /// Admitting a flow and releasing the booked lightpath restores the
+    /// observable board state exactly, and re-admitting the same flow books
+    /// the identical lightpath; a blocked admit leaves no trace at all.
+    #[test]
+    fn flexgrid_release_then_readmit_is_identity(
+        seed in 0u64..1_000,
+        n_flows in 0usize..25,
+        demand in 25.0f64..1_500.0,
+        probe_demand in 25.0f64..1_500.0,
+        admission_idx in 0usize..3,
+    ) {
+        let mcms = 12u32;
+        let mut cfg = RackFabricConfig::paper_rack(FabricKind::ParallelAwgrs);
+        cfg.mcm_count = mcms;
+        let fabric = RackFabric::new(cfg);
+        let config = FlexGridConfig {
+            policy: SpectrumPolicy {
+                admission: [
+                    AdmissionPolicy::FirstFit,
+                    AdmissionPolicy::BestFit,
+                    AdmissionPolicy::ExactFit,
+                ][admission_idx],
+                ..SpectrumPolicy::default()
+            },
+            ..FlexGridConfig::default()
+        };
+        let mut alloc = SpectrumAllocator::new(&fabric, config);
+        for i in 0..n_flows {
+            let src = ((seed + 11 * i as u64) % mcms as u64) as u32;
+            let dst = ((seed + 3 * i as u64 + 2) % mcms as u64) as u32;
+            alloc.admit(Flow::new(src, dst, demand));
+        }
+        let snapshot = |a: &SpectrumAllocator| {
+            let mut occ = Vec::new();
+            for s in 0..mcms {
+                for d in 0..mcms {
+                    occ.push(a.occupied_slots(s, d));
+                }
+            }
+            (occ, a.active_lightpaths().to_vec(), a.carried_gbps())
+        };
+        let before = snapshot(&alloc);
+        let src = (seed % mcms as u64) as u32;
+        let dst = ((seed + 1) % mcms as u64) as u32;
+        match alloc.admit(Flow::new(src, dst, probe_demand)) {
+            Some(lp) => {
+                prop_assert!(alloc.release(&lp));
+                prop_assert_eq!(snapshot(&alloc), before.clone());
+                // The same flow against the same board books the same path.
+                let again = alloc.admit(Flow::new(src, dst, probe_demand));
+                prop_assert_eq!(again, Some(lp));
+            }
+            None => prop_assert_eq!(snapshot(&alloc), before.clone()),
+        }
     }
 
     /// MCM packing always preserves per-chip escape bandwidth, for any chip
