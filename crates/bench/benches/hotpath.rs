@@ -70,6 +70,21 @@ fn bench_flowsim(c: &mut Criterion) {
         );
     }
     g.finish();
+    // Relative-performance floor: arena reuse must never cost more than 5%
+    // over the allocating path on the same pattern (it exists to be
+    // cheaper). Guards the delta-clear-vs-wipe crossover in
+    // `FlowArena::prepare` against regressing back into the inversion
+    // BENCH_flowsim.json once recorded.
+    for label in ["permutation_350mcm", "hotspot8_350mcm"] {
+        let alloc = criterion::recorded_mean_ns("flowsim", &format!("run_alloc/{label}"))
+            .expect("run_alloc recorded");
+        let arena = criterion::recorded_mean_ns("flowsim", &format!("run_in_arena/{label}"))
+            .expect("run_in_arena recorded");
+        assert!(
+            arena <= alloc * 1.05,
+            "arena floor: run_in_arena/{label} {arena:.0} ns > 1.05x run_alloc {alloc:.0} ns"
+        );
+    }
 }
 
 /// `TimelineSimulator` across the canned schedules: the incremental solver

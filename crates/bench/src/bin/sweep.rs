@@ -164,16 +164,24 @@ fn bench_reference_grid() -> SweepGrid {
         .replicates(32)
 }
 
-/// Time the reference grid at 1 thread vs `threads`, verify the outputs
-/// are byte-identical, and write the numbers to `path` as one versioned
-/// JSON object (`"version":2`). `parallel_efficiency` divides the measured
-/// speedup by the *effective* parallelism `min(threads, available_cores)`,
-/// so requesting 8 threads on a 4-core runner is judged against 4. When
-/// set, `efficiency_floor` / `sps_floor` fail the run (exit 1) if
-/// `parallel_efficiency` or `scenarios_per_sec_1_thread` lands below them.
+/// Time the reference grid at 1 thread vs the *effective* thread count
+/// `min(threads, available_cores)`, verify the outputs are byte-identical,
+/// and write the numbers to `path` as one versioned JSON object
+/// (`"version":3`). Requesting more threads than the machine has cannot
+/// buy parallelism — the pool would just time context-switch overhead — so
+/// the parallel measurement is clamped to the cores that exist: `threads`
+/// reports the clamped count actually benchmarked, `requested_threads` the
+/// CLI request, and `degraded` is true when the clamp bit (cores <
+/// requested). `parallel_efficiency` is speedup over the effective count,
+/// so the file can never claim, say, 4-thread/0.97-efficiency numbers from
+/// a 1-core container. When set, `efficiency_floor` / `sps_floor` fail the
+/// run (exit 1) if `parallel_efficiency` or `scenarios_per_sec_1_thread`
+/// lands below them.
 fn run_bench(path: &str, threads: usize, efficiency_floor: Option<f64>, sps_floor: Option<f64>) {
     let grid = bench_reference_grid();
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let effective = threads.min(cores).max(1);
+    let degraded = cores < threads;
     // Brief warm-up (one replicate of the grid) so the timed runs don't
     // charge cold allocator/page-cache effects to the serial measurement.
     let _ = rayon::with_max_threads(1, || bench_reference_grid().replicates(1).run());
@@ -181,19 +189,19 @@ fn run_bench(path: &str, threads: usize, efficiency_floor: Option<f64>, sps_floo
     let serial = rayon::with_max_threads(1, || grid.run());
     let serial_ms = start.elapsed().as_secs_f64() * 1e3;
     let start = Instant::now();
-    let parallel = rayon::with_max_threads(threads, || grid.run());
+    let parallel = rayon::with_max_threads(effective, || grid.run());
     let parallel_ms = start.elapsed().as_secs_f64() * 1e3;
     let identical = serial.to_json() == parallel.to_json();
     let scenarios = serial.rows.len();
     let speedup = serial_ms / parallel_ms;
-    let effective = threads.min(cores).max(1);
     let efficiency = speedup / effective as f64;
     let sps_serial = scenarios as f64 / (serial_ms / 1e3);
     let sps_parallel = scenarios as f64 / (parallel_ms / 1e3);
     let json = format!(
-        "{{\"version\":2,\"grid\":\"{}\",\"scenarios\":{scenarios},\
+        "{{\"version\":3,\"grid\":\"{}\",\"scenarios\":{scenarios},\
          \"available_cores\":{cores},\
-         \"wall_ms_1_thread\":{serial_ms:.1},\"threads\":{threads},\
+         \"wall_ms_1_thread\":{serial_ms:.1},\"threads\":{effective},\
+         \"requested_threads\":{threads},\"degraded\":{degraded},\
          \"wall_ms_n_threads\":{parallel_ms:.1},\"speedup\":{speedup:.2},\
          \"parallel_efficiency\":{efficiency:.2},\
          \"scenarios_per_sec_1_thread\":{sps_serial:.1},\

@@ -64,6 +64,23 @@ impl EnergyMode {
             EnergyMode::UtilizationScaled => "util",
         }
     }
+
+    /// Parse a label produced by [`EnergyMode::label`]; `None` for anything
+    /// else.
+    ///
+    /// ```
+    /// use disagg_core::energy::EnergyMode;
+    /// assert_eq!(EnergyMode::parse("util"), Some(EnergyMode::UtilizationScaled));
+    /// assert_eq!(EnergyMode::parse("always-on"), Some(EnergyMode::AlwaysOn));
+    /// assert_eq!(EnergyMode::parse("solar"), None);
+    /// ```
+    pub fn parse(text: &str) -> Option<Self> {
+        match text {
+            "always-on" => Some(EnergyMode::AlwaysOn),
+            "util" => Some(EnergyMode::UtilizationScaled),
+            _ => None,
+        }
+    }
 }
 
 /// Scenario-independent knobs of the energy layer. Defaults reproduce the

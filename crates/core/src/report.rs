@@ -194,6 +194,10 @@ impl SweepReport {
                     ("fec_j", e.fec_energy_j),
                     ("reconfiguration_j", e.reconfiguration_energy_j),
                     ("idle_j", e.idle_energy_j),
+                    // The one raw field the derived metrics above don't
+                    // determine; emitting it makes the block a lossless
+                    // round-trip for `from_json`.
+                    ("compute_power_w", e.compute_power_w),
                 ] {
                     out.push(',');
                     json_string(&mut out, k);
@@ -234,9 +238,99 @@ impl SweepReport {
         out.push_str("]}");
         out
     }
+
+    /// Parse a report serialized by [`SweepReport::to_json`].
+    ///
+    /// The inverse of the writer through the vendored `serde::json`
+    /// deserializer: every retained field round-trips **byte-identically**
+    /// (`to_json` → `from_json` → `to_json` reproduces the input bytes).
+    /// Floats survive because the writer emits shortest-round-trip literals
+    /// and the parser re-parses them to identical bits; `null` metrics come
+    /// back as NaN and re-serialize as `null`. [`ThroughputStats`] is
+    /// wall-clock metadata excluded from the JSON, so a parsed report has
+    /// `throughput: None` — which [`PartialEq`] ignores.
+    ///
+    /// ```
+    /// use disagg_core::sweep::SweepGrid;
+    /// use disagg_core::SweepReport;
+    ///
+    /// let report = SweepGrid::named("rt").mcm_counts([16]).replicates(2).run();
+    /// let json = report.to_json();
+    /// let parsed = SweepReport::from_json(&json).unwrap();
+    /// assert_eq!(parsed, report);
+    /// assert_eq!(parsed.to_json(), json);
+    /// ```
+    pub fn from_json(text: &str) -> Result<Self, crate::codec::DecodeError> {
+        let doc = serde::json::parse(text).map_err(|e| format!("report: {e}"))?;
+        let mut report = SweepReport::new(codec::str_field(&doc, "name", "report")?);
+        report.summary = codec::as_object(codec::field(&doc, "summary", "report")?, "summary")?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), codec::as_f64(v, &format!("summary.{k}"))?)))
+            .collect::<Result<_, crate::codec::DecodeError>>()?;
+        if let Some(energy) = doc.get("energy") {
+            for (i, entry) in codec::as_array(energy, "energy")?.iter().enumerate() {
+                let ctx = format!("energy[{i}]");
+                report.energy.push((
+                    codec::str_field(entry, "label", &ctx)?.to_string(),
+                    decode_energy_stats(entry, &ctx)?,
+                ));
+            }
+        }
+        for (i, row) in codec::as_array(codec::field(&doc, "rows", "report")?, "rows")?
+            .iter()
+            .enumerate()
+        {
+            let ctx = format!("rows[{i}]");
+            report.rows.push(SweepRow {
+                label: codec::str_field(row, "label", &ctx)?.to_string(),
+                params: codec::as_object(codec::field(row, "params", &ctx)?, &ctx)?
+                    .iter()
+                    .map(|(k, v)| Ok((k.clone(), codec::as_str(v, &format!("{ctx}.{k}"))?.into())))
+                    .collect::<Result<_, crate::codec::DecodeError>>()?,
+                metrics: codec::as_object(codec::field(row, "metrics", &ctx)?, &ctx)?
+                    .iter()
+                    .map(|(k, v)| Ok((k.clone(), codec::as_f64(v, &format!("{ctx}.{k}"))?)))
+                    .collect::<Result<_, crate::codec::DecodeError>>()?,
+            });
+        }
+        let declared = codec::as_usize(codec::field(&doc, "scenarios", "report")?, "scenarios")?;
+        if declared != report.rows.len() {
+            return Err(format!(
+                "report: scenarios field says {declared} but {} rows present",
+                report.rows.len()
+            ));
+        }
+        Ok(report)
+    }
 }
 
-fn json_string(out: &mut String, s: &str) {
+use crate::codec;
+
+/// Decode one `energy` array entry back into [`EnergyStats`]. Only the raw
+/// fields are read; the derived metrics the writer also emits (`joules`,
+/// `watts`, `pj_per_bit`, `photonic_compute_ratio`) are recomputed from
+/// them bit-identically on re-serialization.
+fn decode_energy_stats(
+    entry: &serde::json::Value,
+    ctx: &str,
+) -> Result<EnergyStats, crate::codec::DecodeError> {
+    let mode_label = codec::str_field(entry, "mode", ctx)?;
+    let mode = crate::energy::EnergyMode::parse(mode_label)
+        .ok_or_else(|| format!("{ctx}.mode: unknown energy mode {mode_label:?}"))?;
+    Ok(EnergyStats {
+        mode,
+        duration_s: codec::f64_field(entry, "duration_s", ctx)?,
+        payload_gigabits: codec::f64_field(entry, "payload_gigabits", ctx)?,
+        transceiver_energy_j: codec::f64_field(entry, "transceiver_j", ctx)?,
+        fec_energy_j: codec::f64_field(entry, "fec_j", ctx)?,
+        reconfiguration_energy_j: codec::f64_field(entry, "reconfiguration_j", ctx)?,
+        idle_energy_j: codec::f64_field(entry, "idle_j", ctx)?,
+        compute_power_w: codec::f64_field(entry, "compute_power_w", ctx)?,
+    })
+}
+
+/// Append a JSON string literal (shared with the grid/job writers).
+pub(crate) fn json_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -252,7 +346,9 @@ fn json_string(out: &mut String, s: &str) {
     out.push('"');
 }
 
-fn json_number(out: &mut String, v: f64) {
+/// Append a JSON number: shortest-round-trip for finite values (so parsing
+/// recovers identical bits), `null` for non-finite.
+pub(crate) fn json_number(out: &mut String, v: f64) {
     if v.is_finite() {
         out.push_str(&format!("{v}"));
     } else {
@@ -619,6 +715,65 @@ mod tests {
         assert!(r.energy_for("missing").is_none());
         let text = format_sweep_report(&r);
         assert!(text.contains("energy:"));
+    }
+
+    #[test]
+    fn report_round_trips_writer_parser_writer_byte_identically() {
+        use crate::energy::EnergyMode;
+        let mut r = SweepReport::new("rt \"quoted\"\n");
+        r.summary.push(("mean".to_string(), 1.0 / 3.0));
+        r.rows.push(SweepRow {
+            label: "row0".to_string(),
+            params: vec![("fabric".to_string(), "awgr".to_string())],
+            metrics: vec![("satisfaction".to_string(), 0.1 + 0.2)],
+        });
+        r.energy.push((
+            "row0".to_string(),
+            EnergyStats {
+                mode: EnergyMode::AlwaysOn,
+                duration_s: 1e-3,
+                payload_gigabits: 123.456,
+                transceiver_energy_j: 1.5e-9,
+                fec_energy_j: 0.25,
+                reconfiguration_energy_j: 0.0,
+                idle_energy_j: 9.75,
+                compute_power_w: 602.857,
+            },
+        ));
+        let json = r.to_json();
+        let parsed = SweepReport::from_json(&json).expect("parses");
+        assert_eq!(parsed, r);
+        assert_eq!(parsed.to_json(), json);
+        // Throughput is wall-clock metadata: never serialized, never parsed.
+        assert!(parsed.throughput.is_none());
+
+        // Every non-finite value is written as `null` and parsed back as
+        // NaN, so an infinity collapses to NaN (and NaN-carrying reports
+        // can't be compared with `==` at all) — but the re-emitted bytes
+        // are still identical.
+        let mut nonfinite = SweepReport::new("nonfinite");
+        nonfinite.summary.extend([
+            ("inf".to_string(), f64::INFINITY),
+            ("nan".to_string(), f64::NAN),
+        ]);
+        let json = nonfinite.to_json();
+        let parsed = SweepReport::from_json(&json).expect("parses");
+        assert!(parsed.summary.iter().all(|(_, v)| v.is_nan()));
+        assert_eq!(parsed.to_json(), json);
+    }
+
+    #[test]
+    fn report_parser_rejects_malformed_documents() {
+        assert!(SweepReport::from_json("not json").is_err());
+        assert!(SweepReport::from_json("{\"name\":\"x\"}").is_err());
+        // Row count must match the declared scenarios field.
+        let lie = "{\"name\":\"x\",\"scenarios\":2,\"summary\":{},\"rows\":[]}";
+        assert!(SweepReport::from_json(lie).unwrap_err().contains("2"));
+        let bad_mode = "{\"name\":\"x\",\"scenarios\":0,\"summary\":{},\
+                        \"energy\":[{\"label\":\"r\",\"mode\":\"solar\"}],\"rows\":[]}";
+        assert!(SweepReport::from_json(bad_mode)
+            .unwrap_err()
+            .contains("solar"));
     }
 
     #[test]

@@ -81,14 +81,14 @@ where
 /// timeline arena, built once per pool worker and threaded through every
 /// scenario that worker executes. Purely scratch — see
 /// [`FlowArena`]/[`TimelineArena`]; reuse never changes results.
-pub(super) struct WorkerScratch {
+pub(crate) struct WorkerScratch {
     flow: FlowArena,
     timeline: TimelineArena,
     flexgrid: FlexGridArena,
 }
 
 impl WorkerScratch {
-    pub(super) fn new() -> Self {
+    pub(crate) fn new() -> Self {
         WorkerScratch {
             flow: FlowArena::new(),
             timeline: TimelineArena::new(),
@@ -268,6 +268,24 @@ impl SweepGrid {
         report
     }
 
+    /// Number of distinct fabric topologies the grid's hardware axes
+    /// (fabric kind, rack size, fibers, wavelengths, data rate, FEC
+    /// derating) produce — the value `run` reports as `fabrics_built`,
+    /// computed without building anything. The jobs layer uses this to
+    /// emit a correct merged summary even when every shard came from the
+    /// on-disk cache and no fabric was ever constructed.
+    ///
+    /// ```
+    /// use disagg_core::sweep::SweepGrid;
+    ///
+    /// let grid = SweepGrid::named("d").mcm_counts([16, 24]).replicates(10);
+    /// assert_eq!(grid.distinct_fabric_count(), 2);
+    /// assert_eq!(grid.run().summary_metric("fabrics_built"), Some(2.0));
+    /// ```
+    pub fn distinct_fabric_count(&self) -> usize {
+        unique_fabric_configs(self).len()
+    }
+
     /// The core streaming driver: decode scenarios lazily in batches,
     /// execute each batch across the pool (or serially), and visit every
     /// result in grid-expansion order. Returns the number of distinct
@@ -319,7 +337,7 @@ impl SweepGrid {
 }
 
 /// Append one result's row (and energy entry, if any) to a report.
-fn push_row(report: &mut SweepReport, result: ScenarioResult) {
+pub(crate) fn push_row(report: &mut SweepReport, result: ScenarioResult) {
     let row: SweepRow = result.to_row();
     if let Some(energy) = result.energy {
         report.energy.push((row.label.clone(), energy));
@@ -331,8 +349,8 @@ fn push_row(report: &mut SweepReport, result: ScenarioResult) {
 /// grid-expansion order with exactly the operation sequence the
 /// materialized implementation used — so the emitted summary block is
 /// byte-identical whether rows were retained or streamed past.
-struct StreamAggregator {
-    scenarios: usize,
+pub(crate) struct StreamAggregator {
+    pub(crate) scenarios: usize,
     satisfaction_sum: f64,
     satisfaction_min: f64,
     latency_sum: f64,
@@ -342,7 +360,7 @@ struct StreamAggregator {
 }
 
 impl StreamAggregator {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         StreamAggregator {
             scenarios: 0,
             satisfaction_sum: 0.0,
@@ -355,18 +373,37 @@ impl StreamAggregator {
     }
 
     fn absorb(&mut self, result: &ScenarioResult) {
+        self.absorb_parts(
+            result.satisfaction,
+            result.mean_latency_ns,
+            result.energy.as_ref(),
+        );
+    }
+
+    /// Fold one scenario's summary contribution from its bare parts. This
+    /// is `absorb` with the [`ScenarioResult`] taken apart, so the jobs
+    /// layer can re-fold a summary from *parsed* shard rows (whose
+    /// satisfaction/latency/energy fields round-trip bit-exactly through
+    /// JSON) with the identical operation sequence — the merged summary is
+    /// byte-identical to an uninterrupted run's.
+    pub(crate) fn absorb_parts(
+        &mut self,
+        satisfaction: f64,
+        mean_latency_ns: f64,
+        energy: Option<&crate::energy::EnergyStats>,
+    ) {
         self.scenarios += 1;
-        self.satisfaction_sum += result.satisfaction;
-        self.satisfaction_min = self.satisfaction_min.min(result.satisfaction);
-        self.latency_sum += result.mean_latency_ns;
-        if let Some(energy) = &result.energy {
+        self.satisfaction_sum += satisfaction;
+        self.satisfaction_min = self.satisfaction_min.min(satisfaction);
+        self.latency_sum += mean_latency_ns;
+        if let Some(energy) = energy {
             self.energy_count += 1;
             self.energy_total_j += energy.total_joules();
             self.energy_watts_sum += energy.watts();
         }
     }
 
-    fn finish(self, report: &mut SweepReport, fabrics_built: usize) {
+    pub(crate) fn finish(self, report: &mut SweepReport, fabrics_built: usize) {
         let n = self.scenarios;
         if n == 0 {
             return;
@@ -398,7 +435,7 @@ impl StreamAggregator {
 /// reference — never rebuilt or cloned per scenario, and independent of
 /// how many scenarios the load/latency/replicate axes multiply onto each
 /// topology.
-pub(super) struct FabricCache {
+pub(crate) struct FabricCache {
     fabrics: HashMap<FabricKey, Arc<RackFabric>>,
 }
 
@@ -419,32 +456,8 @@ impl FabricCache {
     /// rack size, fibers, wavelengths, data rate, FEC derating) can
     /// produce, in parallel. Two FEC configs with the same bandwidth
     /// overhead derate to the same wavelength rate and share a fabric.
-    fn from_grid(grid: &SweepGrid, parallel: bool) -> Self {
-        let mut seen: HashSet<FabricKey> = HashSet::new();
-        let mut unique: Vec<(FabricKey, RackFabricConfig)> = Vec::new();
-        for &kind in &grid.fabric_kinds {
-            for &mcm_count in &grid.mcm_counts {
-                for &fibers_per_mcm in &grid.fibers_per_mcm {
-                    for &wavelengths_per_fiber in &grid.wavelengths_per_fiber {
-                        for &gbps in &grid.gbps_per_wavelength {
-                            for fec in &grid.fec_configs {
-                                let config = RackFabricConfig {
-                                    mcm_count,
-                                    fibers_per_mcm,
-                                    wavelengths_per_fiber,
-                                    gbps_per_wavelength: gbps * (1.0 - fec.bandwidth_overhead),
-                                    kind,
-                                };
-                                let key = fabric_key(&config);
-                                if seen.insert(key) {
-                                    unique.push((key, config));
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-        }
+    pub(crate) fn from_grid(grid: &SweepGrid, parallel: bool) -> Self {
+        let unique = unique_fabric_configs(grid);
         let built: Vec<Arc<RackFabric>> = if parallel {
             parallel_map(&unique, |(_, config)| Arc::new(RackFabric::new(*config)))
         } else {
@@ -462,12 +475,43 @@ impl FabricCache {
         &self.fabrics[&fabric_key(config)]
     }
 
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         self.fabrics.len()
     }
 }
 
-pub(super) fn run_scenario(
+/// The distinct topologies the grid's hardware axes produce, in
+/// first-encounter order.
+fn unique_fabric_configs(grid: &SweepGrid) -> Vec<(FabricKey, RackFabricConfig)> {
+    let mut seen: HashSet<FabricKey> = HashSet::new();
+    let mut unique: Vec<(FabricKey, RackFabricConfig)> = Vec::new();
+    for &kind in &grid.fabric_kinds {
+        for &mcm_count in &grid.mcm_counts {
+            for &fibers_per_mcm in &grid.fibers_per_mcm {
+                for &wavelengths_per_fiber in &grid.wavelengths_per_fiber {
+                    for &gbps in &grid.gbps_per_wavelength {
+                        for fec in &grid.fec_configs {
+                            let config = RackFabricConfig {
+                                mcm_count,
+                                fibers_per_mcm,
+                                wavelengths_per_fiber,
+                                gbps_per_wavelength: gbps * (1.0 - fec.bandwidth_overhead),
+                                kind,
+                            };
+                            let key = fabric_key(&config);
+                            if seen.insert(key) {
+                                unique.push((key, config));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    unique
+}
+
+pub(crate) fn run_scenario(
     scenario: &Scenario,
     cache: &FabricCache,
     indirect_hop_ns: f64,

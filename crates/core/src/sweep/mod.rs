@@ -38,7 +38,8 @@
 //! any thread count, streamed or materialized — yields byte-identical
 //! [`SweepReport::to_json`](crate::report::SweepReport::to_json) output.
 
-mod exec;
+pub(crate) mod codec;
+pub(crate) mod exec;
 mod grid;
 mod scenario;
 

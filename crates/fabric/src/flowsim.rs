@@ -224,9 +224,15 @@ impl FlowArena {
 
     /// Ready the board for a run on a rack of `mcm_count` MCMs: same-size
     /// boards are delta-cleared via the touched-pair list from the previous
-    /// run; a size change rebuilds the board.
+    /// run when that list is sparse; a dense touch list (or a size change)
+    /// wipes the whole board instead. The crossover matters: scattered
+    /// single-cell clears cost a cache miss each, so past ~1/8 board
+    /// coverage the sequential memset is cheaper than chasing the list —
+    /// exactly the regime indirect-heavy patterns (hotspot) put the arena
+    /// in.
     fn prepare(&mut self, mcm_count: u32) {
-        if self.board.mcm_count() == mcm_count {
+        let cells = mcm_count as usize * mcm_count as usize;
+        if self.board.mcm_count() == mcm_count && self.touched.len() < cells / 8 {
             for &(src, dst) in &self.touched {
                 self.board.clear_pair(src, dst);
             }
@@ -327,8 +333,12 @@ impl<'a> FlowSimulator<'a> {
                 .board
                 .free_wavelengths(self.fabric, flow.src, flow.dst);
             let granted = needed.min(free);
-            arena.board.occupy(flow.src, flow.dst, granted);
-            arena.touched.push((flow.src, flow.dst));
+            // A zero grant leaves the board untouched: recording it would
+            // only lengthen the delta-clear list.
+            if granted > 0 {
+                arena.board.occupy(flow.src, flow.dst, granted);
+                arena.touched.push((flow.src, flow.dst));
+            }
             let granted_gbps = (granted as f64 * gbps_per_wavelength).min(flow.demand_gbps);
             arena.direct_shares.push(granted_gbps);
         }

@@ -9,10 +9,10 @@ use photonic_disagg::core::cpu_experiments::{
     CpuExperimentConfig,
 };
 use photonic_disagg::core::gpu_experiments::{
-    average_slowdown, run_gpu_experiment, GpuExperimentConfig,
+    average_slowdown, gpu_results_to_json, run_gpu_experiment, GpuExperimentConfig,
 };
 use photonic_disagg::core::rack_analysis::RackAnalysis;
-use photonic_disagg::core::rack_builder::DisaggregatedRack;
+use photonic_disagg::core::rack_builder::{DisaggregatedRack, RackSummary};
 use photonic_disagg::cpusim::CoreKind;
 use photonic_disagg::fabric::flowsim::{Flow, FlowSimConfig, FlowSimulator};
 use photonic_disagg::fabric::rackfabric::FabricKind;
@@ -135,20 +135,30 @@ fn fabric_serves_rack_scale_demand() {
 }
 
 /// Serialization of experiment outputs (what the bench binaries write) is
-/// stable and round-trips.
-///
-/// Gated: the offline build vendors no-op serde stand-ins (vendor/README.md),
-/// so real JSON round-trips need the `serde-roundtrip` feature plus the real
-/// serde/serde_json wired into the workspace manifest.
-#[cfg(feature = "serde-roundtrip")]
+/// stable and round-trips through the vendored JSON parser.
 #[test]
 fn results_serialize_round_trip() {
     let analysis = RackAnalysis::paper();
-    let json = serde_json::to_string(&analysis).unwrap();
-    let value: serde_json::Value = serde_json::from_str(&json).unwrap();
-    assert_eq!(value["table_iii"]["packings"].as_array().unwrap().len(), 5);
+    let json = analysis.to_json();
+    let value = serde::json::parse(&json).unwrap();
+    let packings = value
+        .get("table_iii")
+        .and_then(|t| t.get("packings"))
+        .and_then(|p| p.as_array())
+        .unwrap();
+    assert_eq!(packings.len(), 5);
 
     let gpu = run_gpu_experiment(&GpuExperimentConfig::default());
-    let json = serde_json::to_string(&gpu).unwrap();
+    let json = gpu_results_to_json(&gpu);
     assert!(json.contains("alexnet"));
+    let parsed = serde::json::parse(&json).unwrap();
+    assert_eq!(parsed.as_array().map(<[_]>::len), Some(gpu.len()));
+
+    // The rack summary round-trips into an equal struct and re-emits
+    // byte-identically.
+    let summary = DisaggregatedRack::paper_awgr().summary();
+    let json = summary.to_json();
+    let parsed = RackSummary::from_json(&json).unwrap();
+    assert_eq!(parsed, summary);
+    assert_eq!(parsed.to_json(), json);
 }

@@ -1,0 +1,126 @@
+//! End-to-end tests of the `sweepd` binary: oneshot mode, the spool
+//! lifecycle, kill-after-K-shards restart resume, and full-cache
+//! resubmission — driving the real executable the way an operator (or the
+//! CI smoke job) does.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+use disagg_core::sweep::SweepGrid;
+
+const JOB: &str = r#"{"grid":{"mcm_counts":[16,24],"replicates":4},"rows_per_shard":3}"#;
+
+fn job_grid() -> SweepGrid {
+    SweepGrid::default().mcm_counts([16, 24]).replicates(4)
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pd-sweepd-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn sweepd(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_sweepd"))
+        .args(args)
+        .output()
+        .expect("sweepd spawns")
+}
+
+fn submit(spool: &Path, name: &str, body: &str) {
+    let incoming = spool.join("incoming");
+    fs::create_dir_all(&incoming).unwrap();
+    fs::write(incoming.join(name), body).unwrap();
+}
+
+#[test]
+fn oneshot_prints_the_batch_identical_report() {
+    let dir = temp_dir("oneshot");
+    let job = dir.join("job.json");
+    fs::write(&job, JOB).unwrap();
+    let out = sweepd(&[
+        "--oneshot",
+        job.to_str().unwrap(),
+        "--cache",
+        dir.join("cache").to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(stdout.trim_end(), job_grid().run().to_json());
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn killed_daemon_resumes_from_checkpoints_byte_identically() {
+    let dir = temp_dir("resume");
+    let spool = dir.join("spool");
+    submit(&spool, "smoke.json", JOB);
+    let spool_arg = spool.to_str().unwrap();
+
+    // "Kill" after one fresh shard: exit code 3, job still queued, one
+    // checkpoint on disk.
+    let crashed = sweepd(&["--spool", spool_arg, "--max-shards", "1"]);
+    assert_eq!(crashed.status.code(), Some(3));
+    assert!(spool.join("incoming/smoke.json").exists());
+    let grid_dir = spool.join("cache").join(job_grid().grid_hash());
+    assert!(grid_dir.join("shard0.json").exists());
+    assert!(!grid_dir.join("shard1.json").exists());
+
+    // Restart: the remaining shards execute, and the merged result is
+    // byte-identical to an uninterrupted batch run.
+    let resumed = sweepd(&["--spool", spool_arg]);
+    assert!(resumed.status.success());
+    assert!(!spool.join("incoming/smoke.json").exists());
+    let result = fs::read_to_string(spool.join("done/smoke.result.json")).unwrap();
+    assert_eq!(result, job_grid().run().to_json() + "\n");
+    let stderr = String::from_utf8(resumed.stderr).unwrap();
+    assert!(stderr.contains("cached 1 executed 2"), "{stderr}");
+
+    // Resubmission of the same grid: served entirely from the cache —
+    // zero scenario evaluations — and byte-identical again.
+    submit(&spool, "again.json", JOB);
+    let cached = sweepd(&["--spool", spool_arg]);
+    assert!(cached.status.success());
+    let stderr = String::from_utf8(cached.stderr).unwrap();
+    assert!(
+        stderr.contains("cached 3 executed 0 scenarios 0"),
+        "{stderr}"
+    );
+    assert_eq!(
+        fs::read_to_string(spool.join("done/again.result.json")).unwrap(),
+        result
+    );
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn malformed_jobs_land_in_failed_with_an_error_note() {
+    let dir = temp_dir("failed");
+    let spool = dir.join("spool");
+    submit(&spool, "typo.json", r#"{"grid":{"mcmcounts":[16]}}"#);
+    submit(&spool, "torn.json", r#"{"grid":"#);
+    let out = sweepd(&["--spool", spool.to_str().unwrap()]);
+    // Bad jobs are quarantined, not fatal: the daemon exits cleanly.
+    assert!(out.status.success());
+    for stem in ["typo", "torn"] {
+        assert!(spool.join(format!("failed/{stem}.json")).exists());
+        let note = fs::read_to_string(spool.join(format!("failed/{stem}.error"))).unwrap();
+        assert!(!note.trim().is_empty());
+    }
+    assert!(!spool.join("incoming/typo.json").exists());
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn usage_errors_exit_one() {
+    let out = sweepd(&[]);
+    assert_eq!(out.status.code(), Some(1));
+    let both = sweepd(&["--oneshot", "a.json", "--spool", "b"]);
+    assert_eq!(both.status.code(), Some(1));
+}

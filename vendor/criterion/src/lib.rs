@@ -77,6 +77,19 @@ pub fn write_bench_reports() {
     }
 }
 
+/// The mean of an already-recorded benchmark of `group`, by bench id
+/// (e.g. `"run_alloc/permutation_350mcm"`). Shim extension: lets a bench
+/// target assert relative-performance floors between its own measurements
+/// (arena-vs-alloc style) after recording them.
+pub fn recorded_mean_ns(group: &str, id: &str) -> Option<f64> {
+    registry()
+        .lock()
+        .unwrap()
+        .iter()
+        .find(|r| r.group == group && r.id == id)
+        .map(|r| r.mean_ns)
+}
+
 /// Identifier for a parameterized benchmark, e.g. `name/parameter`.
 #[derive(Debug, Clone)]
 pub struct BenchmarkId {

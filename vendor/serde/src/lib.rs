@@ -1,11 +1,21 @@
-//! API-compatible stand-in for the subset of `serde` this workspace uses.
+//! API-compatible stand-in for the subset of `serde` this workspace uses,
+//! plus a real JSON deserializer.
 //!
-//! The build environment has no access to crates.io, so the workspace vendors
-//! a minimal replacement: the `Serialize`/`Deserialize` derive macros (no-op
-//! expansions) and marker traits with blanket impls so generic bounds remain
-//! satisfiable. Nothing in the repository serializes data yet; when a real
-//! output format lands, point `[workspace.dependencies] serde` back at
-//! crates.io and everything keeps compiling.
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal replacement: the `Serialize`/`Deserialize` derive
+//! macros (no-op expansions) and marker traits with blanket impls so
+//! generic bounds remain satisfiable. Serialization itself is hand-rolled
+//! at the call sites (e.g. `SweepReport::to_json` in `disagg_core`) for
+//! byte-determinism; the [`json`] module provides the matching parse side —
+//! a complete RFC 8259 deserializer with raw-text numbers and
+//! order-preserving objects, used by the `sweepd` job server and the
+//! round-trip tests.
+//!
+//! Repointing `[workspace.dependencies] serde` at crates.io keeps the
+//! derive/marker surface compiling unchanged; the [`json`] module is
+//! shim-only (the real ecosystem equivalent is `serde_json`).
+
+pub mod json;
 
 pub use serde_derive::{Deserialize, Serialize};
 

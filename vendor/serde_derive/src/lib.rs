@@ -2,9 +2,11 @@
 //!
 //! The build environment has no access to crates.io, so the workspace vendors
 //! a minimal stand-in. `#[derive(Serialize, Deserialize)]` must parse and
-//! expand, but nothing in this repository actually serializes data yet, so the
-//! derives expand to nothing. Swapping in the real serde is a one-line change
-//! in the root manifest's `[workspace.dependencies]`.
+//! expand, but the workspace serializes through hand-rolled writers and
+//! deserializes through the vendored `serde::json` parser (both chosen for
+//! byte-deterministic round-trips), so the derives expand to nothing.
+//! Swapping in the real serde is a one-line change in the root manifest's
+//! `[workspace.dependencies]`.
 
 use proc_macro::TokenStream;
 
