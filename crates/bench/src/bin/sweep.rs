@@ -25,19 +25,34 @@
 //! still aggregates everything) and `--shard-rows N` emits the rows as
 //! self-contained report shards of N rows each (one JSON document per line
 //! with `--json`), followed by the summary-only master report.
+//!
+//! `--sample K` runs the grid through the representative-scenario sampler
+//! (`SweepGrid::run_sampled`): at most K scenarios are simulated, one
+//! weighted representative per feature-space cluster, and the printed
+//! summary reconstructs the full grid with declared error bounds.
+//! `--sample-report` appends the `SamplingStats` block as one extra JSON
+//! line (reduction factor, mean dispersion, per-metric bounds).
+//!
 //! `--bench FILE` times the fixed reference grid at 1 thread vs the
 //! configured count and writes a versioned JSON record (wall clocks,
 //! speedup, `parallel_efficiency` over the effective core count, and
 //! scenarios/sec at both thread counts) to FILE (`BENCH_sweep.json` in
-//! CI). `--bench-floor EFF` fails the run when parallel efficiency lands
-//! below EFF; `--bench-sps-floor SPS` fails it when single-thread
-//! throughput drops below SPS scenarios/sec.
+//! CI). A measurement taken on a machine with fewer cores than requested
+//! (`degraded: true`) refuses to overwrite a non-degraded FILE unless
+//! `--bench-force` is given. `--bench-floor EFF` fails the run when
+//! parallel efficiency lands below EFF; `--bench-sps-floor SPS` fails it
+//! when single-thread throughput drops below SPS scenarios/sec.
+//! `--bench-sample FILE` times sampled vs exhaustive execution of the
+//! replicate-inflated reference grid, verifies every reconstructed summary
+//! metric against its declared error bound, and writes the record to FILE
+//! (`BENCH_sample.json` in CI); any bound violation exits 1.
 
 use std::process::exit;
 use std::time::Instant;
 
 use disagg_core::energy::EnergyMode;
 use disagg_core::report::format_sweep_report;
+use disagg_core::sample::{reference_grid, SampleConfig};
 use disagg_core::sweep::{configure_threads, StreamConfig, SweepGrid};
 use fabric::FabricKind;
 use workloads::TrafficPattern;
@@ -48,7 +63,9 @@ fn usage() -> ! {
          \x20            [--fabric awgr|wave|spatial,..] [--pattern P,..] [--demand GBPS]\n\
          \x20            [--latency NS,..] [--energy always|util,..] [--replicates N]\n\
          \x20            [--seed N] [--threads N] [--row-cap N] [--shard-rows N]\n\
-         \x20            [--bench FILE] [--bench-floor EFF] [--bench-sps-floor SPS] [--json]\n\
+         \x20            [--sample K] [--sample-report]\n\
+         \x20            [--bench FILE] [--bench-floor EFF] [--bench-sps-floor SPS]\n\
+         \x20            [--bench-force] [--bench-sample FILE] [--json]\n\
          patterns: uniformN | permutation | hotspotN | neighborN | alltoall"
     );
     exit(2);
@@ -143,27 +160,6 @@ fn parse_energy(value: &str) -> Vec<EnergyMode> {
         .collect()
 }
 
-/// The fixed reference grid `--bench` times: heavy enough that per-scenario
-/// work dominates pool overhead, varied enough to exercise both fabric
-/// constructions and the indirect-routing path.
-fn bench_reference_grid() -> SweepGrid {
-    SweepGrid::named("bench-reference")
-        .mcm_counts([350])
-        .fabric_kinds([FabricKind::ParallelAwgrs, FabricKind::WaveSelective])
-        .patterns([
-            // All-to-all at full rack scale is the heavy hitter: ~122k
-            // flows per scenario through the allocator.
-            TrafficPattern::AllToAll { demand_gbps: 8.0 },
-            TrafficPattern::Permutation { demand_gbps: 600.0 },
-            TrafficPattern::HotSpot {
-                hot_mcms: 8,
-                demand_gbps: 500.0,
-            },
-        ])
-        .direct_latencies_ns([35.0])
-        .replicates(32)
-}
-
 /// Time the reference grid at 1 thread vs the *effective* thread count
 /// `min(threads, available_cores)`, verify the outputs are byte-identical,
 /// and write the numbers to `path` as one versioned JSON object
@@ -177,14 +173,38 @@ fn bench_reference_grid() -> SweepGrid {
 /// a 1-core container. When set, `efficiency_floor` / `sps_floor` fail the
 /// run (exit 1) if `parallel_efficiency` or `scenarios_per_sec_1_thread`
 /// lands below them.
-fn run_bench(path: &str, threads: usize, efficiency_floor: Option<f64>, sps_floor: Option<f64>) {
-    let grid = bench_reference_grid();
+///
+/// A degraded measurement (cores < requested threads) is a property of the
+/// machine, not the code: committing one over a healthy snapshot would make
+/// the trajectory read as a regression. Unless `force` is set, a degraded
+/// run refuses to overwrite an existing FILE whose record says
+/// `"degraded":false` (exit 1).
+fn run_bench(
+    path: &str,
+    threads: usize,
+    efficiency_floor: Option<f64>,
+    sps_floor: Option<f64>,
+    force: bool,
+) {
+    let grid = reference_grid();
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let effective = threads.min(cores).max(1);
     let degraded = cores < threads;
+    if degraded && !force {
+        if let Ok(existing) = std::fs::read_to_string(path) {
+            if existing.contains("\"degraded\":false") {
+                eprintln!(
+                    "sweep: refusing to overwrite non-degraded {path} with a degraded \
+                     measurement ({cores} core(s) for {threads} requested thread(s)); \
+                     pass --bench-force to override"
+                );
+                exit(1);
+            }
+        }
+    }
     // Brief warm-up (one replicate of the grid) so the timed runs don't
     // charge cold allocator/page-cache effects to the serial measurement.
-    let _ = rayon::with_max_threads(1, || bench_reference_grid().replicates(1).run());
+    let _ = rayon::with_max_threads(1, || reference_grid().replicates(1).run());
     let start = Instant::now();
     let serial = rayon::with_max_threads(1, || grid.run());
     let serial_ms = start.elapsed().as_secs_f64() * 1e3;
@@ -238,6 +258,68 @@ fn run_bench(path: &str, threads: usize, efficiency_floor: Option<f64>, sps_floo
     }
 }
 
+/// Time sampled vs exhaustive execution of the replicate-inflated
+/// reference grid (16x: 3072 scenarios) and verify the accuracy contract
+/// end to end: every reconstructed summary metric must land within its
+/// declared error bound of the exhaustive oracle, and the sampler must
+/// evaluate at least 10x fewer scenarios. Writes one versioned JSON record
+/// to `path` (`BENCH_sample.json` in CI) and exits 1 on any violation.
+fn run_bench_sample(path: &str, threads: usize) {
+    let grid = reference_grid().replicates(512);
+    let config = SampleConfig::with_clusters(48);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let effective = threads.min(cores).max(1);
+    let _ = rayon::with_max_threads(effective, || reference_grid().replicates(1).run());
+    let start = Instant::now();
+    let exhaustive = rayon::with_max_threads(effective, || grid.run());
+    let exhaustive_ms = start.elapsed().as_secs_f64() * 1e3;
+    let start = Instant::now();
+    let sampled = rayon::with_max_threads(effective, || grid.run_sampled(&config));
+    let sampled_ms = start.elapsed().as_secs_f64() * 1e3;
+    let stats = sampled
+        .sampling
+        .clone()
+        .expect("run_sampled attaches SamplingStats");
+
+    let mut within_bounds = true;
+    for (key, bound) in &stats.error_bounds {
+        let estimate = sampled.summary_metric(key).unwrap_or(f64::NAN);
+        let oracle = exhaustive.summary_metric(key).unwrap_or(f64::NAN);
+        let error = (estimate - oracle).abs();
+        // NaN (a missing metric) must count as a violation, not pass.
+        if error.is_nan() || error > *bound {
+            within_bounds = false;
+            eprintln!(
+                "sweep: {key} error {error:.6} exceeds declared bound {bound:.6} \
+                 (sampled {estimate:.6} vs exhaustive {oracle:.6})"
+            );
+        }
+    }
+    let reduction = stats.reduction();
+    let speedup = exhaustive_ms / sampled_ms;
+    let json = format!(
+        "{{\"version\":1,\"grid\":\"{}\",\"scenarios\":{},\"clusters\":{},\
+         \"evaluated\":{},\"reduction\":{reduction:.1},\
+         \"wall_ms_exhaustive\":{exhaustive_ms:.1},\"wall_ms_sampled\":{sampled_ms:.1},\
+         \"sample_speedup\":{speedup:.2},\"threads\":{effective},\
+         \"mean_dispersion\":{:.4},\"within_bounds\":{within_bounds}}}",
+        sampled.name, stats.total, stats.clusters, stats.evaluated, stats.mean_dispersion,
+    );
+    std::fs::write(path, format!("{json}\n")).unwrap_or_else(|e| {
+        eprintln!("sweep: cannot write {path}: {e}");
+        exit(1);
+    });
+    println!("{json}");
+    if !within_bounds {
+        eprintln!("sweep: sampled summary violated its declared error bounds");
+        exit(1);
+    }
+    if reduction < 10.0 {
+        eprintln!("sweep: sampling reduction {reduction:.1}x below the 10x floor");
+        exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut grid = SweepGrid::named("sweep");
@@ -250,6 +332,10 @@ fn main() {
     let mut bench_path: Option<String> = None;
     let mut bench_floor: Option<f64> = None;
     let mut bench_sps_floor: Option<f64> = None;
+    let mut bench_force = false;
+    let mut bench_sample_path: Option<String> = None;
+    let mut sample_clusters: Option<usize> = None;
+    let mut sample_report = false;
 
     // `--demand` must apply to the patterns no matter the flag order, so
     // patterns are parsed after the full argument scan.
@@ -258,6 +344,16 @@ fn main() {
         let flag = args[i].as_str();
         if flag == "--json" {
             json = true;
+            i += 1;
+            continue;
+        }
+        if flag == "--sample-report" {
+            sample_report = true;
+            i += 1;
+            continue;
+        }
+        if flag == "--bench-force" {
+            bench_force = true;
             i += 1;
             continue;
         }
@@ -285,13 +381,29 @@ fn main() {
             "--bench" => bench_path = Some(value.clone()),
             "--bench-floor" => bench_floor = Some(parse_scalar::<f64>(flag, value)),
             "--bench-sps-floor" => bench_sps_floor = Some(parse_scalar::<f64>(flag, value)),
+            "--bench-sample" => bench_sample_path = Some(value.clone()),
+            "--sample" => sample_clusters = Some(parse_scalar::<usize>(flag, value).max(1)),
             _ => usage(),
         }
         i += 2;
     }
     let threads = configure_threads(threads);
+    if sample_clusters.is_some()
+        && (row_cap.is_some() || shard_rows.is_some() || bench_path.is_some())
+    {
+        eprintln!("sweep: --sample conflicts with --row-cap/--shard-rows/--bench");
+        exit(2);
+    }
+    if sample_report && sample_clusters.is_none() {
+        eprintln!("sweep: --sample-report requires --sample K");
+        exit(2);
+    }
+    if let Some(path) = bench_sample_path {
+        run_bench_sample(&path, threads);
+        return;
+    }
     if let Some(path) = bench_path {
-        run_bench(&path, threads, bench_floor, bench_sps_floor);
+        run_bench(&path, threads, bench_floor, bench_sps_floor, bench_force);
         return;
     }
     if let Some(spec) = pattern_spec {
@@ -303,6 +415,19 @@ fn main() {
         }];
     }
 
+    if let Some(clusters) = sample_clusters {
+        let report = grid.run_sampled(&SampleConfig::with_clusters(clusters));
+        if json {
+            println!("{}", report.to_json());
+        } else {
+            print!("{}", format_sweep_report(&report));
+        }
+        if sample_report {
+            let stats = report.sampling.expect("run_sampled attaches SamplingStats");
+            println!("{}", stats.to_json());
+        }
+        return;
+    }
     let stream = StreamConfig {
         row_cap,
         ..StreamConfig::default()

@@ -14,7 +14,11 @@
 //! * **Content addressing.** The cache key is [`SweepGrid::grid_hash`], a
 //!   hash of the grid's canonical JSON — any change to any axis lands in a
 //!   different cache directory, and equal grids share one no matter how
-//!   they were spelled.
+//!   they were spelled. Jobs that opt into representative-scenario
+//!   sampling ([`JobSpec::sample`]) get a *composite* key,
+//!   `<grid_hash>-s<sample_hash>`: sampled shards (weighted
+//!   representatives) can never collide with exact shards of the same
+//!   grid, or with shards sampled under different knobs.
 //! * **Bit-exact replay.** Shard JSON round-trips every float exactly
 //!   (shortest-round-trip formatting, raw-text parsing), and the merged
 //!   summary is re-folded from shard rows with the identical operation
@@ -31,6 +35,7 @@ use std::path::{Path, PathBuf};
 
 use crate::codec::{self, DecodeError};
 use crate::report::SweepReport;
+use crate::sample::{push_weighted_row, ClusterPlan, SampleAggregator, SampleConfig};
 use crate::sweep::exec::{push_row, run_scenario, FabricCache, StreamAggregator, WorkerScratch};
 use crate::sweep::{StreamConfig, SweepGrid};
 
@@ -50,6 +55,13 @@ pub struct JobSpec {
     pub rows_per_shard: usize,
     /// Scenarios decoded and executed per parallel batch within a shard.
     pub batch_size: usize,
+    /// Representative-scenario sampling knobs (`sample` object in the job
+    /// file). `None` — the default — runs the grid exhaustively. When set,
+    /// the job simulates one weighted representative per cluster and
+    /// reconstructs the full-grid summary (see
+    /// [`SweepGrid::run_sampled`]); its shards live under the composite
+    /// cache key [`JobSpec::cache_key`].
+    pub sample: Option<SampleConfig>,
 }
 
 impl Default for JobSpec {
@@ -59,6 +71,7 @@ impl Default for JobSpec {
             threads: None,
             rows_per_shard: 256,
             batch_size: StreamConfig::default().batch_size,
+            sample: None,
         }
     }
 }
@@ -102,6 +115,7 @@ impl JobSpec {
                 "threads" => spec.threads = Some(codec::as_usize(value, &ctx)?.max(1)),
                 "rows_per_shard" => spec.rows_per_shard = codec::as_usize(value, &ctx)?.max(1),
                 "batch_size" => spec.batch_size = codec::as_usize(value, &ctx)?.max(1),
+                "sample" => spec.sample = Some(SampleConfig::from_json_value(value, &ctx)?),
                 _ => return Err(format!("job: unknown field {key:?}")),
             }
         }
@@ -121,17 +135,47 @@ impl JobSpec {
             out.push_str(&format!(",\"threads\":{threads}"));
         }
         out.push_str(&format!(
-            ",\"rows_per_shard\":{},\"batch_size\":{}}}",
+            ",\"rows_per_shard\":{},\"batch_size\":{}",
             self.rows_per_shard, self.batch_size
         ));
+        if let Some(sample) = &self.sample {
+            out.push_str(",\"sample\":");
+            out.push_str(&sample.to_json());
+        }
+        out.push('}');
         out
     }
 
-    /// Number of checkpoint shards the job's grid cuts into.
+    /// Number of checkpoint shards the job's *exhaustive* grid cuts into.
+    /// A sampled job shards the (smaller) representative list instead;
+    /// [`JobOutcome::shards_total`] reports the count actually used.
     pub fn shard_count(&self) -> usize {
         self.grid
             .scenario_count()
             .div_ceil(self.rows_per_shard.max(1))
+    }
+
+    /// The job's shard-cache key: the grid's content hash, extended with
+    /// the sample-config hash when the job samples. Exact and sampled runs
+    /// of the same grid — and sampled runs under different knobs — always
+    /// cache under different keys.
+    ///
+    /// ```
+    /// use disagg_core::jobs::JobSpec;
+    /// use disagg_core::sample::SampleConfig;
+    /// use disagg_core::sweep::SweepGrid;
+    ///
+    /// let mut spec = JobSpec::new(SweepGrid::named("k").mcm_counts([16]));
+    /// let exact = spec.cache_key();
+    /// assert_eq!(exact, spec.grid.grid_hash());
+    /// spec.sample = Some(SampleConfig::with_clusters(8));
+    /// assert!(spec.cache_key().starts_with(&format!("{exact}-s")));
+    /// ```
+    pub fn cache_key(&self) -> String {
+        match &self.sample {
+            None => self.grid.grid_hash(),
+            Some(sample) => format!("{}-s{}", self.grid.grid_hash(), sample.sample_hash()),
+        }
     }
 }
 
@@ -139,9 +183,11 @@ impl JobSpec {
 #[derive(Debug, Clone)]
 pub struct JobOutcome {
     /// The merged report: byte-identical (`to_json`) to an uninterrupted
-    /// [`SweepGrid::run`] of the same grid when the job ran to completion.
+    /// [`SweepGrid::run`] of the same grid when the job ran to completion
+    /// (to an uninterrupted [`SweepGrid::run_sampled`] for sampled jobs).
     pub report: SweepReport,
-    /// The grid's content hash — the shard cache directory name.
+    /// The job's cache key ([`JobSpec::cache_key`]) — the shard cache
+    /// directory name.
     pub grid_hash: String,
     /// Total shards the grid cuts into.
     pub shards_total: usize,
@@ -232,8 +278,23 @@ impl JobRunner {
         spec: &JobSpec,
         max_fresh_shards: Option<usize>,
     ) -> Result<JobOutcome, JobError> {
+        // Sampled jobs shard the representative list instead of the grid,
+        // under the composite cache key. A degenerate plan (cluster budget
+        // covers the grid) falls through to the exact pipeline below —
+        // still under the sampled cache key, so exact jobs never see its
+        // shards — and the merged report matches `run_sampled`'s exact
+        // delegation byte for byte.
+        let plan = spec
+            .sample
+            .as_ref()
+            .map(|sample| ClusterPlan::build(&spec.grid, sample));
+        if let (Some(sample), Some(plan)) = (&spec.sample, &plan) {
+            if !plan.exact {
+                return self.run_sampled_inner(spec, sample, plan, max_fresh_shards);
+            }
+        }
         let grid = &spec.grid;
-        let grid_hash = grid.grid_hash();
+        let grid_hash = spec.cache_key();
         let grid_dir = self.cache_dir.join(&grid_hash);
         let per_shard = spec.rows_per_shard.max(1);
         let scenario_count = grid.scenario_count();
@@ -273,7 +334,76 @@ impl JobRunner {
             shards.push(shard);
         }
 
-        let report = merge_shards(grid, &shards)?;
+        let mut report = merge_shards(grid, &shards)?;
+        if let (Some(sample), Some(plan)) = (&spec.sample, &plan) {
+            report.sampling = Some(plan.stats(sample, &report.summary));
+        }
+        Ok(JobOutcome {
+            report,
+            grid_hash,
+            shards_total,
+            shards_from_cache,
+            shards_executed,
+            scenarios_executed,
+            suspended,
+        })
+    }
+
+    /// The sampled twin of the exact pipeline in `run_inner`: the cluster
+    /// plan's representative list is cut into `rows_per_shard` shards, each
+    /// executed at most once ever and checkpointed under the composite
+    /// cache key, and the merged report re-folds the weighted summary with
+    /// [`SampleAggregator`] — byte-identical to an uninterrupted
+    /// [`SweepGrid::run_sampled`], whether shards came from execution,
+    /// from disk, or a mix.
+    fn run_sampled_inner(
+        &self,
+        spec: &JobSpec,
+        sample: &SampleConfig,
+        plan: &ClusterPlan,
+        max_fresh_shards: Option<usize>,
+    ) -> Result<JobOutcome, JobError> {
+        let grid = &spec.grid;
+        let grid_hash = spec.cache_key();
+        let grid_dir = self.cache_dir.join(&grid_hash);
+        let per_shard = spec.rows_per_shard.max(1);
+        let rep_count = plan.representatives.len();
+        let shards_total = rep_count.div_ceil(per_shard);
+
+        let mut shards: Vec<SweepReport> = Vec::with_capacity(shards_total);
+        let mut shards_from_cache = 0usize;
+        let mut shards_executed = 0usize;
+        let mut scenarios_executed = 0usize;
+        let mut suspended = false;
+        let mut fabric_cache: Option<FabricCache> = None;
+
+        for k in 0..shards_total {
+            let start = k * per_shard;
+            let end = rep_count.min(start + per_shard);
+            let path = grid_dir.join(format!("shard{k}.json"));
+            if let Some(cached) = load_cached_shard(&path, end - start) {
+                shards.push(cached);
+                shards_from_cache += 1;
+                continue;
+            }
+            if max_fresh_shards.is_some_and(|max| shards_executed >= max) {
+                suspended = true;
+                break;
+            }
+            let cache = match &fabric_cache {
+                Some(cache) => cache,
+                // The *full* grid's fabric set, as in `run_sampled`, so the
+                // merged `fabrics_built` matches the oracle's.
+                None => fabric_cache.insert(FabricCache::from_grid(grid, true)),
+            };
+            let shard = execute_sampled_shard(grid, spec, cache, plan, k, start, end);
+            write_shard(&grid_dir, &path, &shard)?;
+            scenarios_executed += shard.rows.len();
+            shards_executed += 1;
+            shards.push(shard);
+        }
+
+        let report = merge_sampled_shards(grid, sample, plan, &shards)?;
         Ok(JobOutcome {
             report,
             grid_hash,
@@ -330,6 +460,103 @@ fn execute_shard(
         }
     }
     shard
+}
+
+/// Execute representative range `[start, end)` of a cluster plan as shard
+/// `k`: each representative's scenario runs once, and its row carries the
+/// cluster weight (see `push_weighted_row`) so the shard is
+/// self-describing on disk.
+fn execute_sampled_shard(
+    grid: &SweepGrid,
+    spec: &JobSpec,
+    cache: &FabricCache,
+    plan: &ClusterPlan,
+    k: usize,
+    start: usize,
+    end: usize,
+) -> SweepReport {
+    let mut shard = SweepReport::new(format!("{}.shard{k}", grid.name));
+    let scenarios = grid.scenarios();
+    let mut batch = Vec::with_capacity(spec.batch_size.min(end - start));
+    let mut next = start;
+    while next < end {
+        batch.clear();
+        batch.extend((next..end.min(next + spec.batch_size)).map(|r| {
+            scenarios
+                .get(plan.representatives[r].index)
+                .expect("representative index within grid bounds")
+        }));
+        let results = crate::sweep::parallel_map_with(&batch, WorkerScratch::new, |scratch, s| {
+            run_scenario(
+                s,
+                cache,
+                grid.indirect_hop_latency_ns,
+                &grid.energy_config,
+                scratch,
+            )
+        });
+        for (offset, result) in results.into_iter().enumerate() {
+            push_weighted_row(
+                &mut shard,
+                result,
+                plan.representatives[next + offset].weight,
+            );
+        }
+        next += batch.len();
+    }
+    shard
+}
+
+/// Merge sampled shards (in shard order) into the reconstructed full-grid
+/// report, re-folding the weighted summary from the shard rows — weights
+/// come from the (deterministically recomputed) cluster plan, row metrics
+/// round-trip bit-exactly through the shard JSON, so the fold is the exact
+/// operation sequence `run_sampled` used.
+fn merge_sampled_shards(
+    grid: &SweepGrid,
+    sample: &SampleConfig,
+    plan: &ClusterPlan,
+    shards: &[SweepReport],
+) -> Result<SweepReport, JobError> {
+    let mut merged = SweepReport::new(grid.name.clone());
+    let mut aggregator = SampleAggregator::new(plan.total);
+    let mut rep_next = 0usize;
+    for shard in shards {
+        let mut energy_next = 0usize;
+        for row in &shard.rows {
+            let energy = match shard.energy.get(energy_next) {
+                Some((label, stats)) if *label == row.label => {
+                    energy_next += 1;
+                    Some(stats)
+                }
+                _ => None,
+            };
+            let satisfaction = row.metric("satisfaction").ok_or_else(|| {
+                format!(
+                    "jobs: shard {} row {} lacks satisfaction",
+                    shard.name, row.label
+                )
+            })?;
+            let mean_latency_ns = row.metric("mean_latency_ns").ok_or_else(|| {
+                format!(
+                    "jobs: shard {} row {} lacks mean_latency_ns",
+                    shard.name, row.label
+                )
+            })?;
+            let weight = plan
+                .representatives
+                .get(rep_next)
+                .map(|r| r.weight)
+                .ok_or_else(|| format!("jobs: shard {} has more rows than the plan", shard.name))?;
+            rep_next += 1;
+            aggregator.absorb_parts(weight, satisfaction, mean_latency_ns, energy);
+        }
+        merged.rows.extend(shard.rows.iter().cloned());
+        merged.energy.extend(shard.energy.iter().cloned());
+    }
+    aggregator.finish(&mut merged, grid.distinct_fabric_count());
+    merged.sampling = Some(plan.stats(sample, &merged.summary));
+    Ok(merged)
 }
 
 /// Checkpoint a completed shard atomically: write to a temp file in the
@@ -496,10 +723,68 @@ mod tests {
     fn spec_json_round_trips_and_rejects_unknowns() {
         let mut spec = job();
         spec.threads = Some(2);
+        spec.sample = Some(SampleConfig::with_clusters(7));
         let parsed = JobSpec::from_json(&spec.to_json()).expect("parses");
         assert_eq!(parsed, spec);
         assert!(JobSpec::from_json("{}").unwrap_err().contains("grid"));
         assert!(JobSpec::from_json(r#"{"grid":{},"shard_size":4}"#).is_err());
+        assert!(JobSpec::from_json(r#"{"grid":{},"sample":{"k":4}}"#).is_err());
+    }
+
+    #[test]
+    fn sampled_job_is_byte_identical_to_run_sampled() {
+        let dir = temp_dir("sampled");
+        let mut spec = job();
+        let sample = SampleConfig::with_clusters(4);
+        spec.sample = Some(sample.clone());
+        spec.rows_per_shard = 2;
+        let reference = spec.grid.run_sampled(&sample);
+        let runner = JobRunner::new(&dir);
+        let outcome = runner.run(&spec).expect("sampled job runs");
+        assert_eq!(outcome.report.to_json(), reference.to_json());
+        assert_eq!(
+            outcome.scenarios_executed,
+            reference.sampling.as_ref().unwrap().evaluated
+        );
+        assert!(
+            outcome.shards_total < spec.shard_count(),
+            "fewer shards than exact"
+        );
+        // Resubmission: fully cached, still byte-identical.
+        let again = runner.run(&spec).expect("cached sampled job");
+        assert_eq!(again.scenarios_executed, 0);
+        assert_eq!(again.report.to_json(), reference.to_json());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sampled_and_exact_jobs_never_share_cache() {
+        let dir = temp_dir("isolated");
+        let exact = job();
+        let mut sampled = job();
+        sampled.sample = Some(SampleConfig::with_clusters(4));
+        assert_ne!(exact.cache_key(), sampled.cache_key());
+        let runner = JobRunner::new(&dir);
+        runner.run(&sampled).expect("sampled job");
+        // The exact job finds nothing reusable in the sampled cache.
+        let outcome = runner.run(&exact).expect("exact job");
+        assert_eq!(outcome.shards_from_cache, 0);
+        assert_eq!(outcome.report.to_json(), exact.grid.run().to_json());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn degenerate_sampled_job_runs_exact_under_the_sampled_key() {
+        let dir = temp_dir("degenerate");
+        let mut spec = job();
+        // Budget covers the 16-scenario grid: the plan degenerates.
+        spec.sample = Some(SampleConfig::with_clusters(64));
+        let runner = JobRunner::new(&dir);
+        let outcome = runner.run(&spec).expect("degenerate sampled job");
+        assert_eq!(outcome.grid_hash, spec.cache_key());
+        assert_eq!(outcome.report.to_json(), spec.grid.run().to_json());
+        assert!(outcome.report.sampling.as_ref().unwrap().exact);
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -22,6 +22,10 @@
 //!   temporal axis, phased demand timelines under wavelength-reallocation
 //!   policies — executed in parallel with memoized fabric builds, plus the
 //!   engine-backed paper artifacts ([`sweep::artifacts`]).
+//! * [`sample`] — representative-scenario sampling over those grids
+//!   (SimPoint for sweeps): cheap per-scenario feature vectors, seeded
+//!   k-means, one weighted representative per cluster, and a reconstructed
+//!   full-grid summary with declared error bounds.
 //! * [`energy`] — per-scenario energy accounting (Section VI-C made
 //!   dynamic): always-on vs utilization-scaled transceiver energy, FEC
 //!   coding overhead, per-event wavelength-reconfiguration energy, and the
@@ -46,6 +50,7 @@ pub mod jobs;
 pub mod rack_analysis;
 pub mod rack_builder;
 pub mod report;
+pub mod sample;
 pub mod sweep;
 
 pub use cpu_experiments::{
@@ -58,7 +63,8 @@ pub use gpu_experiments::{
 pub use jobs::{JobOutcome, JobRunner, JobSpec};
 pub use rack_analysis::RackAnalysis;
 pub use rack_builder::{DisaggregatedRack, RackSummary};
-pub use report::{SweepReport, SweepRow, ThroughputStats};
+pub use report::{SamplingStats, SweepReport, SweepRow, ThroughputStats};
+pub use sample::{ClusterPlan, SampleConfig};
 pub use sweep::{Scenario, ScenarioLoad, ScenarioResult, SweepGrid, TimelineCase};
 
 /// The paper's latency sweep for CPU/GPU studies, in nanoseconds:

@@ -81,6 +81,88 @@ impl ThroughputStats {
     }
 }
 
+/// Provenance and accuracy metadata of a representative-scenario sampled
+/// sweep (`SweepGrid::run_sampled`): how many clusters the grid was
+/// collapsed into, how many scenarios were actually evaluated, the
+/// within-cluster feature dispersion, and the per-metric error bounds the
+/// sampler declares for its reconstructed summary.
+///
+/// Like [`ThroughputStats`], this block is *metadata about how the report
+/// was produced*, not a simulation result: it is deliberately excluded from
+/// both [`SweepReport`] equality and [`SweepReport::to_json`], so the
+/// degenerate sampled run (every scenario its own cluster) stays
+/// byte-identical to the exhaustive oracle. The accuracy contract the
+/// bounds state is pinned against `SweepGrid::run` by
+/// `tests/sampling_accuracy.rs`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SamplingStats {
+    /// True when sampling degenerated to the exhaustive path (cluster
+    /// budget ≥ scenario count, or the grid too small to pay for
+    /// clustering): the report is byte-identical to `run()`.
+    pub exact: bool,
+    /// Cluster count the sampler was configured with.
+    pub clusters: usize,
+    /// Scenarios actually simulated (one weighted representative per
+    /// non-empty cluster; the full grid in exact mode).
+    pub evaluated: usize,
+    /// Scenarios the full grid expands to — what the reconstructed summary
+    /// estimates.
+    pub total: usize,
+    /// Weight-averaged RMS distance of scenarios to their cluster centroid
+    /// in the normalized feature space (0 = every cluster collapsed onto
+    /// identical feature vectors).
+    pub mean_dispersion: f64,
+    /// Declared absolute error bounds for the reconstructed summary
+    /// metrics, in summary order.
+    pub error_bounds: Vec<(String, f64)>,
+}
+
+impl SamplingStats {
+    /// Evaluated-scenario reduction factor (`total / evaluated`); 1.0 in
+    /// exact mode.
+    pub fn reduction(&self) -> f64 {
+        if self.evaluated > 0 {
+            self.total as f64 / self.evaluated as f64
+        } else {
+            1.0
+        }
+    }
+
+    /// The declared absolute error bound for a summary metric.
+    pub fn bound(&self, metric: &str) -> Option<f64> {
+        self.error_bounds
+            .iter()
+            .find(|(k, _)| k == metric)
+            .map(|(_, v)| *v)
+    }
+
+    /// Serialize the block as one standalone JSON object (the `sweep
+    /// --sample-report` side channel — deliberately *not* part of
+    /// [`SweepReport::to_json`]).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(192);
+        out.push_str(&format!(
+            "{{\"exact\":{},\"clusters\":{},\"evaluated\":{},\"total\":{},\
+             \"reduction\":",
+            self.exact, self.clusters, self.evaluated, self.total
+        ));
+        json_number(&mut out, self.reduction());
+        out.push_str(",\"mean_dispersion\":");
+        json_number(&mut out, self.mean_dispersion);
+        out.push_str(",\"error_bounds\":{");
+        for (i, (k, v)) in self.error_bounds.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json_string(&mut out, k);
+            out.push(':');
+            json_number(&mut out, *v);
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
 /// The unified result schema every sweep and ported paper artifact produces:
 /// a named collection of scenario rows plus report-level summary metrics.
 ///
@@ -107,6 +189,11 @@ pub struct SweepReport {
     /// Excluded from equality and from [`to_json`](SweepReport::to_json):
     /// see [`ThroughputStats`].
     pub throughput: Option<ThroughputStats>,
+    /// Sampling provenance when the report was reconstructed by
+    /// `SweepGrid::run_sampled`, `None` for exhaustive runs. Excluded from
+    /// equality and from [`to_json`](SweepReport::to_json): see
+    /// [`SamplingStats`].
+    pub sampling: Option<SamplingStats>,
 }
 
 /// Result equality only — [`ThroughputStats`] is run-to-run wall-clock
@@ -130,6 +217,7 @@ impl SweepReport {
             summary: Vec::new(),
             energy: Vec::new(),
             throughput: None,
+            sampling: None,
         }
     }
 

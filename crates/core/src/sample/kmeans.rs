@@ -1,0 +1,194 @@
+//! Deterministic seeded k-means over scenario feature vectors.
+//!
+//! k-means++ seeding draws from a [`ChaCha8Rng`] keyed off the grid and
+//! sample seeds, so the same grid always clusters the same way regardless
+//! of thread count or axis declaration order (the caller feeds points in a
+//! canonical order). Every tie in the algorithm breaks toward the lowest
+//! point/centroid index, and Lloyd iteration stops as soon as assignments
+//! are stable, so the result is a pure function of `(points, k, seed)`.
+
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use super::feature::{FeatureVec, DIMS};
+
+/// Output of [`run`]: per-point cluster assignment plus final centroids.
+/// `centroids.len()` may be below the requested `k` when the data has
+/// fewer distinct points than clusters.
+pub(crate) struct KmeansResult {
+    /// `assignments[i]` is the centroid index for `points[i]`.
+    pub assignments: Vec<usize>,
+    /// Final cluster centers in feature space.
+    pub centroids: Vec<FeatureVec>,
+}
+
+pub(crate) fn dist2(a: &FeatureVec, b: &FeatureVec) -> f64 {
+    let mut sum = 0.0;
+    for d in 0..DIMS {
+        let delta = a[d] - b[d];
+        sum += delta * delta;
+    }
+    sum
+}
+
+/// Uniform f64 in `[0, 1)` from the top 53 bits of one RNG draw.
+fn unit(rng: &mut ChaCha8Rng) -> f64 {
+    (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// k-means++ initialization: the first center is drawn uniformly, each
+/// later one with probability proportional to its squared distance from
+/// the nearest already-chosen center. Stops early once every point sits on
+/// an existing center (total D² = 0) — requesting more clusters than
+/// distinct points yields exactly the distinct points.
+fn seed_centers(points: &[FeatureVec], k: usize, rng: &mut ChaCha8Rng) -> Vec<FeatureVec> {
+    let mut centers: Vec<FeatureVec> = Vec::with_capacity(k);
+    let first = (rng.next_u64() % points.len() as u64) as usize;
+    centers.push(points[first]);
+    let mut best: Vec<f64> = points.iter().map(|p| dist2(p, &centers[0])).collect();
+    while centers.len() < k {
+        let total: f64 = best.iter().sum();
+        if total <= 0.0 {
+            break;
+        }
+        let mut target = unit(rng) * total;
+        let mut chosen = points.len() - 1;
+        for (i, d) in best.iter().enumerate() {
+            if target < *d {
+                chosen = i;
+                break;
+            }
+            target -= *d;
+        }
+        let center = points[chosen];
+        centers.push(center);
+        for (i, p) in points.iter().enumerate() {
+            let d = dist2(p, &center);
+            if d < best[i] {
+                best[i] = d;
+            }
+        }
+    }
+    centers
+}
+
+fn nearest(point: &FeatureVec, centers: &[FeatureVec]) -> usize {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (c, center) in centers.iter().enumerate() {
+        let d = dist2(point, center);
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    best
+}
+
+/// Full clustering: k-means++ seeding followed by Lloyd iteration (at most
+/// `max_iterations` rounds, stopping when assignments stabilize). A
+/// cluster emptied by reassignment is reseeded to the point farthest from
+/// its current center when a strictly-positive-distance point exists;
+/// otherwise it stays empty and the caller drops the weight-0 cluster.
+pub(crate) fn run(
+    points: &[FeatureVec],
+    k: usize,
+    seed: u64,
+    max_iterations: usize,
+) -> KmeansResult {
+    assert!(!points.is_empty() && k > 0, "kmeans needs points and k > 0");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut centroids = seed_centers(points, k.min(points.len()), &mut rng);
+    let mut assignments: Vec<usize> = points.iter().map(|p| nearest(p, &centroids)).collect();
+    for _ in 0..max_iterations {
+        // Recompute each centroid as the mean of its members.
+        let mut sums = vec![[0.0f64; DIMS]; centroids.len()];
+        let mut counts = vec![0usize; centroids.len()];
+        for (p, a) in points.iter().zip(assignments.iter()) {
+            counts[*a] += 1;
+            for d in 0..DIMS {
+                sums[*a][d] += p[d];
+            }
+        }
+        for (c, centroid) in centroids.iter_mut().enumerate() {
+            if counts[c] == 0 {
+                continue;
+            }
+            for d in 0..DIMS {
+                centroid[d] = sums[c][d] / counts[c] as f64;
+            }
+        }
+        // Reseed empty clusters to the farthest point from its center, if
+        // any point sits at a strictly positive distance.
+        for c in 0..centroids.len() {
+            if counts[c] > 0 {
+                continue;
+            }
+            let mut far = 0;
+            let mut far_d = 0.0;
+            for (i, p) in points.iter().enumerate() {
+                let d = dist2(p, &centroids[assignments[i]]);
+                if d > far_d {
+                    far_d = d;
+                    far = i;
+                }
+            }
+            if far_d > 0.0 {
+                centroids[c] = points[far];
+            }
+        }
+        let next: Vec<usize> = points.iter().map(|p| nearest(p, &centroids)).collect();
+        if next == assignments {
+            break;
+        }
+        assignments = next;
+    }
+    KmeansResult {
+        assignments,
+        centroids,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(x: f64, y: f64) -> FeatureVec {
+        let mut p = [0.0; DIMS];
+        p[0] = x;
+        p[1] = y;
+        p
+    }
+
+    #[test]
+    fn separated_blobs_get_separate_clusters() {
+        let points = vec![
+            point(0.0, 0.0),
+            point(0.01, 0.0),
+            point(1.0, 1.0),
+            point(0.99, 1.0),
+        ];
+        let result = run(&points, 2, 42, 16);
+        assert_eq!(result.assignments[0], result.assignments[1]);
+        assert_eq!(result.assignments[2], result.assignments[3]);
+        assert_ne!(result.assignments[0], result.assignments[2]);
+    }
+
+    #[test]
+    fn identical_points_collapse_to_one_center() {
+        let points = vec![point(0.5, 0.5); 8];
+        let result = run(&points, 4, 7, 16);
+        assert_eq!(result.centroids.len(), 1);
+        assert!(result.assignments.iter().all(|a| *a == 0));
+    }
+
+    #[test]
+    fn same_seed_same_result() {
+        let points: Vec<FeatureVec> = (0..32)
+            .map(|i| point(i as f64 / 32.0, (i % 5) as f64 / 5.0))
+            .collect();
+        let a = run(&points, 6, 99, 25);
+        let b = run(&points, 6, 99, 25);
+        assert_eq!(a.assignments, b.assignments);
+    }
+}

@@ -45,5 +45,5 @@ pub use cpu::{cpu_benchmarks, rodinia_cpu_gpu_intersection, CpuBenchmark, CpuSui
 pub use gpu::{gpu_applications, GpuSuite};
 pub use patterns::{AccessPattern, PatternParams};
 pub use production::{NodeUtilization, ProductionDistributions, UtilizationSample};
-pub use timeline::{DemandTimeline, Phase};
-pub use traffic::TrafficPattern;
+pub use timeline::{DemandTimeline, Phase, TimelineSignature};
+pub use traffic::{DemandSignature, TrafficPattern};

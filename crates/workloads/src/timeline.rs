@@ -18,8 +18,24 @@ use fabric::{DemandMatrix, Flow};
 use serde::{Deserialize, Serialize};
 
 use crate::gpu::{gpu_applications, suite_applications, GpuSuite};
-use crate::traffic::TrafficPattern;
+use crate::traffic::{DemandSignature, TrafficPattern};
 use gpusim::ApplicationProfile;
+
+/// The simulator-free feature summary of a [`DemandTimeline`] expansion:
+/// the per-epoch [`DemandSignature`] averaged over the timeline, plus the
+/// temporal shape the static signature cannot see. Produced by
+/// [`DemandTimeline::demand_signature`] for the `core::sample`
+/// representative-scenario sampler.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimelineSignature {
+    /// Epoch-mean demand-matrix signature.
+    pub aggregate: DemandSignature,
+    /// Number of epochs the timeline spans.
+    pub epochs: f64,
+    /// Mean epoch-to-epoch change in total offered load, normalized by the
+    /// peak epoch load: 0 for a flat timeline, → 1 for full-swing bursts.
+    pub churn: f64,
+}
 
 /// One contiguous stretch of epochs offering a single traffic pattern,
 /// optionally demand-ramped and destination-rotated.
@@ -257,6 +273,64 @@ impl DemandTimeline {
             .flat_map(|m| m.iter())
             .map(|f| f.sanitized().demand_gbps)
             .sum()
+    }
+
+    /// The [`TimelineSignature`] of this timeline's expansion: the
+    /// epoch-mean [`DemandSignature`] plus the temporal shape (epoch count
+    /// and load churn) — the feature vector the `core::sample`
+    /// representative-scenario sampler clusters temporal scenarios on.
+    /// Computed from the expanded epoch matrices alone; no simulator runs.
+    ///
+    /// ```
+    /// use workloads::{DemandTimeline, TrafficPattern};
+    ///
+    /// let steady = DemandTimeline::steady(
+    ///     TrafficPattern::Permutation { demand_gbps: 100.0 },
+    ///     4,
+    /// );
+    /// let sig = steady.demand_signature(16, 7);
+    /// assert_eq!(sig.epochs, 4.0);
+    /// // A flat single-phase timeline has zero epoch-to-epoch churn.
+    /// assert_eq!(sig.churn, 0.0);
+    /// ```
+    pub fn demand_signature(&self, mcm_count: u32, seed: u64) -> TimelineSignature {
+        let epochs = self.epoch_matrices(mcm_count, seed);
+        if epochs.is_empty() {
+            return TimelineSignature {
+                aggregate: DemandSignature::zero(),
+                epochs: 0.0,
+                churn: 0.0,
+            };
+        }
+        let mut sums = [0.0f64; DemandSignature::DIMS];
+        let mut totals = Vec::with_capacity(epochs.len());
+        for flows in &epochs {
+            let sig = DemandSignature::from_flows(mcm_count, flows);
+            for (sum, c) in sums.iter_mut().zip(sig.components()) {
+                *sum += c;
+            }
+            totals.push(sig.total_gbps);
+        }
+        let n = epochs.len() as f64;
+        let aggregate = DemandSignature {
+            total_gbps: sums[0] / n,
+            flow_count: sums[1] / n,
+            max_src_share: sums[2] / n,
+            max_dst_share: sums[3] / n,
+            mean_hop_distance: sums[4] / n,
+        };
+        let peak = totals.iter().cloned().fold(0.0f64, f64::max);
+        let churn = if peak > 0.0 && totals.len() > 1 {
+            let delta_sum: f64 = totals.windows(2).map(|w| (w[1] - w[0]).abs()).sum();
+            delta_sum / (totals.len() - 1) as f64 / peak
+        } else {
+            0.0
+        };
+        TimelineSignature {
+            aggregate,
+            epochs: n,
+            churn,
+        }
     }
 
     /// A stable label covering every demand-defining parameter of the

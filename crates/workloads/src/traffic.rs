@@ -58,6 +58,100 @@ pub enum TrafficPattern {
     },
 }
 
+/// A compact, simulator-free summary of a demand matrix, used by the
+/// `core::sample` representative-scenario sampler as the load half of its
+/// per-scenario feature vector.
+///
+/// All components are derived from the flow list alone (no fabric, no
+/// allocation): total offered load, flow count, the worst source/destination
+/// concentration shares, and the mean cyclic src→dst distance normalized to
+/// `[0, 1]`. Scenarios whose matrices agree on these five numbers stress a
+/// fabric near-identically, which is exactly the similarity the sampler's
+/// k-means clustering needs to measure.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DemandSignature {
+    /// Total offered load in Gbps.
+    pub total_gbps: f64,
+    /// Number of flows.
+    pub flow_count: f64,
+    /// Largest per-source share of the total load (`1/n` for balanced
+    /// sources, `→ 1` for a single dominant talker).
+    pub max_src_share: f64,
+    /// Largest per-destination share of the total load (`→ 1` under
+    /// incast).
+    pub max_dst_share: f64,
+    /// Demand-weighted mean cyclic distance `|src − dst|` (mod rack size),
+    /// normalized by `mcm_count / 2`: near 0 for neighbour exchanges, near
+    /// the uniform expectation for random traffic.
+    pub mean_hop_distance: f64,
+}
+
+impl DemandSignature {
+    /// Number of feature components [`components`](Self::components) yields.
+    pub const DIMS: usize = 5;
+
+    /// An all-zero signature (the empty matrix).
+    pub fn zero() -> Self {
+        DemandSignature {
+            total_gbps: 0.0,
+            flow_count: 0.0,
+            max_src_share: 0.0,
+            max_dst_share: 0.0,
+            mean_hop_distance: 0.0,
+        }
+    }
+
+    /// Compute the signature of a concrete flow list in one O(flows) pass.
+    pub fn from_flows(mcm_count: u32, flows: &[Flow]) -> Self {
+        if mcm_count == 0 || flows.is_empty() {
+            return DemandSignature::zero();
+        }
+        let n = mcm_count as usize;
+        let mut src_gbps = vec![0.0f64; n];
+        let mut dst_gbps = vec![0.0f64; n];
+        let mut total = 0.0f64;
+        let mut distance_weighted = 0.0f64;
+        let half = (mcm_count / 2).max(1) as f64;
+        for f in flows {
+            total += f.demand_gbps;
+            src_gbps[f.src as usize % n] += f.demand_gbps;
+            dst_gbps[f.dst as usize % n] += f.demand_gbps;
+            let d = f.src.abs_diff(f.dst);
+            let cyclic = d.min(mcm_count - d) as f64;
+            distance_weighted += f.demand_gbps * cyclic / half;
+        }
+        let max_src = src_gbps.iter().cloned().fold(0.0f64, f64::max);
+        let max_dst = dst_gbps.iter().cloned().fold(0.0f64, f64::max);
+        if total <= 0.0 {
+            return DemandSignature {
+                total_gbps: 0.0,
+                flow_count: flows.len() as f64,
+                max_src_share: 0.0,
+                max_dst_share: 0.0,
+                mean_hop_distance: 0.0,
+            };
+        }
+        DemandSignature {
+            total_gbps: total,
+            flow_count: flows.len() as f64,
+            max_src_share: max_src / total,
+            max_dst_share: max_dst / total,
+            mean_hop_distance: distance_weighted / total,
+        }
+    }
+
+    /// The signature as a fixed-size feature slice, in declaration order.
+    pub fn components(&self) -> [f64; Self::DIMS] {
+        [
+            self.total_gbps,
+            self.flow_count,
+            self.max_src_share,
+            self.max_dst_share,
+            self.mean_hop_distance,
+        ]
+    }
+}
+
 impl TrafficPattern {
     /// A short stable label used in sweep-report rows and CLI parsing.
     pub fn label(&self) -> String {
@@ -79,6 +173,59 @@ impl TrafficPattern {
             | TrafficPattern::NearestNeighbor { demand_gbps, .. }
             | TrafficPattern::AllToAll { demand_gbps } => demand_gbps,
         }
+    }
+
+    /// Whether the expanded flow list actually depends on the seed.
+    /// Hot-spot, nearest-neighbour, and all-to-all matrices are fully
+    /// determined by their parameters; only the uniform and permutation
+    /// families draw from the RNG. The `core::sample` feature extractor
+    /// uses this to share one signature across every replicate of a
+    /// seed-insensitive pattern instead of recomputing it per seed.
+    pub fn seed_sensitive(&self) -> bool {
+        matches!(
+            self,
+            TrafficPattern::Uniform { .. } | TrafficPattern::Permutation { .. }
+        )
+    }
+
+    /// The [`DemandSignature`] of this pattern's expansion at `mcm_count`
+    /// MCMs under `seed` — the cheap per-scenario feature vector of the
+    /// representative-scenario sampler. Equivalent to
+    /// `DemandSignature::from_flows(mcm_count, &self.flows(mcm_count, seed))`
+    /// but with the quadratic all-to-all family computed in O(rack size)
+    /// closed form instead of materializing `n·(n−1)` flows.
+    ///
+    /// ```
+    /// use workloads::traffic::{DemandSignature, TrafficPattern};
+    ///
+    /// let p = TrafficPattern::AllToAll { demand_gbps: 4.0 };
+    /// let fast = p.demand_signature(16, 9);
+    /// let slow = DemandSignature::from_flows(16, &p.flows(16, 9));
+    /// assert_eq!(fast, slow);
+    /// ```
+    pub fn demand_signature(&self, mcm_count: u32, seed: u64) -> DemandSignature {
+        if mcm_count < 2 {
+            return DemandSignature::zero();
+        }
+        if let TrafficPattern::AllToAll { demand_gbps } = *self {
+            // Every ordered pair carries one flow: shares are uniform and
+            // the mean cyclic distance is a pure function of rack size.
+            let n = mcm_count as f64;
+            let flow_count = n * (n - 1.0);
+            let half = (mcm_count / 2).max(1) as f64;
+            let mut distance_sum = 0.0f64;
+            for d in 1..mcm_count {
+                distance_sum += d.min(mcm_count - d) as f64;
+            }
+            return DemandSignature {
+                total_gbps: flow_count * demand_gbps,
+                flow_count,
+                max_src_share: 1.0 / n,
+                max_dst_share: 1.0 / n,
+                mean_hop_distance: distance_sum / (n - 1.0) / half,
+            };
+        }
+        DemandSignature::from_flows(mcm_count, &self.flows(mcm_count, seed))
     }
 
     /// Expand the pattern into its dense row-major [`DemandMatrix`]: the

@@ -19,6 +19,13 @@
 //! replay from the cache. `--max-shards K` exercises exactly that path by
 //! suspending after K fresh shards (exit code 3, job left in `incoming/`).
 //!
+//! Jobs with a `sample` object run through the representative-scenario
+//! sampler ([`SweepGrid::run_sampled`](disagg_core::sweep::SweepGrid::run_sampled)
+//! semantics): shards cover the weighted representative list, are cached
+//! under a composite `<grid_hash>-s<sample_hash>` key that never collides
+//! with the exact grid's shards, and the per-job summary line carries a
+//! `(sampled)` marker.
+//!
 //! Exit codes: 0 success, 1 usage error, 2 job/spool failure, 3 suspended
 //! by `--max-shards`.
 
@@ -225,7 +232,7 @@ fn process_job(
     }
     let outcome = runner.run_with_limit(&spec, options.max_shards)?;
     eprintln!(
-        "sweepd: job {} hash {} shards {} cached {} executed {} scenarios {}{}",
+        "sweepd: job {} hash {} shards {} cached {} executed {} scenarios {}{}{}",
         job_file
             .file_stem()
             .and_then(|s| s.to_str())
@@ -235,6 +242,11 @@ fn process_job(
         outcome.shards_from_cache,
         outcome.shards_executed,
         outcome.scenarios_executed,
+        if spec.sample.is_some() {
+            " (sampled)"
+        } else {
+            ""
+        },
         if outcome.suspended {
             " (suspended)"
         } else {

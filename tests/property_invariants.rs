@@ -10,6 +10,7 @@
 use std::collections::HashMap;
 
 use photonic_disagg::core::energy::EnergyMode;
+use photonic_disagg::core::sample::{ClusterPlan, SampleConfig};
 use photonic_disagg::core::sweep::SweepGrid;
 use photonic_disagg::cpusim::{CoreKind, CpuConfig, Simulator};
 use photonic_disagg::fabric::awgr::Awgr;
@@ -434,5 +435,106 @@ proptest! {
         prop_assert!(packing.preserves_escape_bandwidth(&spec));
         prop_assert!(packing.chips_per_mcm >= 1);
         prop_assert!(packing.mcms_per_rack as u64 * packing.chips_per_mcm as u64 >= chips as u64);
+    }
+
+    /// A sampling cluster plan partitions the grid: cluster weights sum to
+    /// the scenario count, every scenario maps to exactly one live cluster,
+    /// and each representative belongs to the cluster it represents — for
+    /// any grid shape, base seed, and cluster budget.
+    #[test]
+    fn sampling_plan_partitions_any_grid(
+        seed in 0u64..1_000,
+        mcm_a in 8u32..20,
+        mcm_b in 8u32..20,
+        replicates in 1u32..12,
+        clusters in 1usize..24,
+    ) {
+        let mut grid = SweepGrid::named("prop-plan")
+            .mcm_counts([mcm_a, mcm_b])
+            .patterns([
+                TrafficPattern::Permutation { demand_gbps: 200.0 },
+                TrafficPattern::HotSpot { hot_mcms: 2, demand_gbps: 300.0 },
+            ])
+            .replicates(replicates);
+        grid.base_seed = seed;
+        let n = grid.scenario_count();
+        let plan = ClusterPlan::build(&grid, &SampleConfig::with_clusters(clusters));
+        prop_assert_eq!(plan.total, n);
+        if plan.exact {
+            prop_assert!(plan.representatives.is_empty());
+            prop_assert!(plan.assignments.is_empty());
+        } else {
+            let weight_sum: usize = plan.representatives.iter().map(|r| r.weight).sum();
+            prop_assert_eq!(weight_sum, n);
+            prop_assert_eq!(plan.assignments.len(), n);
+            let mut populations = vec![0usize; plan.representatives.len()];
+            for &ordinal in &plan.assignments {
+                prop_assert!((ordinal as usize) < plan.representatives.len());
+                populations[ordinal as usize] += 1;
+            }
+            for (ordinal, rep) in plan.representatives.iter().enumerate() {
+                prop_assert_eq!(populations[ordinal], rep.weight);
+                prop_assert_eq!(plan.assignments[rep.index] as usize, ordinal);
+                prop_assert!(rep.index < n);
+            }
+        }
+    }
+
+    /// The sampled report is a pure function of the grid *contents*: naming
+    /// the same axes in a different declaration order (which permutes the
+    /// grid-expansion order) reconstructs a byte-identical report, because
+    /// the plan clusters scenarios in canonical (feature-sorted) order.
+    /// Degenerate plans fall back to the exhaustive oracle, whose row
+    /// order intentionally follows the declared expansion order, so the
+    /// grid here stays large enough (>= 2 replicates) to actually sample.
+    #[test]
+    fn sampled_report_is_invariant_under_axis_reordering(
+        seed in 0u64..200,
+        replicates in 2u32..5,
+    ) {
+        let patterns = [
+            TrafficPattern::Permutation { demand_gbps: 200.0 },
+            TrafficPattern::HotSpot { hot_mcms: 2, demand_gbps: 300.0 },
+        ];
+        let mut forward = SweepGrid::named("prop-order")
+            .mcm_counts([8, 12])
+            .patterns(patterns)
+            .replicates(replicates);
+        forward.base_seed = seed;
+        let mut reversed = SweepGrid::named("prop-order")
+            .mcm_counts([12, 8])
+            .patterns([patterns[1], patterns[0]])
+            .replicates(replicates);
+        reversed.base_seed = seed;
+        let config = SampleConfig::with_clusters(3);
+        let forward_report = forward.run_sampled(&config);
+        prop_assert!(
+            !forward_report.sampling.as_ref().expect("stats attached").exact
+        );
+        prop_assert_eq!(
+            forward_report.to_json(),
+            reversed.run_sampled(&config).to_json()
+        );
+    }
+
+    /// Sampling is deterministic in the executing thread count: the
+    /// clustering is sequential and representative execution preserves
+    /// order, so 1, 2, and 8 threads produce byte-identical reports.
+    #[test]
+    fn sampled_report_is_identical_across_thread_counts(
+        seed in 0u64..200,
+        clusters in 2usize..6,
+    ) {
+        let mut grid = SweepGrid::named("prop-threads")
+            .mcm_counts([8, 12])
+            .patterns([TrafficPattern::Permutation { demand_gbps: 250.0 }])
+            .replicates(8);
+        grid.base_seed = seed;
+        let config = SampleConfig::with_clusters(clusters);
+        let one = rayon::with_max_threads(1, || grid.run_sampled(&config));
+        let two = rayon::with_max_threads(2, || grid.run_sampled(&config));
+        let eight = rayon::with_max_threads(8, || grid.run_sampled(&config));
+        prop_assert_eq!(one.to_json(), two.to_json());
+        prop_assert_eq!(two.to_json(), eight.to_json());
     }
 }

@@ -1,0 +1,173 @@
+//! Golden-oracle accuracy suite for representative-scenario sampling.
+//!
+//! The oracle is exhaustive execution ([`SweepGrid::run`]), which this
+//! repository pins byte-exactly across thread counts; the sampler's
+//! contract is *statistical*: every reconstructed summary metric must land
+//! within the error bound the [`SamplingStats`] block declares for it, on
+//! the reference grid the `--bench` trajectory times (192 scenarios) and
+//! on a replicate-inflated variant where sampling must also cut the
+//! evaluated-scenario count by at least an order of magnitude.
+//!
+//! The reference-grid suites simulate hundreds of full-rack scenarios, so
+//! — like `tests/golden_artifacts.rs` — they are release-only: debug
+//! builds skip them (`--include-ignored` in the release CI step runs
+//! them).
+
+use photonic_disagg::core::report::SweepReport;
+use photonic_disagg::core::sample::{reference_grid, SampleConfig};
+use photonic_disagg::core::sweep::SweepGrid;
+use photonic_disagg::core::EnergyMode;
+use photonic_disagg::workloads::TrafficPattern;
+
+/// Assert that every declared error bound holds: `|sampled - exact| <=
+/// bound` for each summary metric the stats block covers.
+fn assert_within_declared_bounds(sampled: &SweepReport, exact: &SweepReport) {
+    let stats = sampled
+        .sampling
+        .as_ref()
+        .expect("sampled reports carry SamplingStats");
+    assert!(
+        !stats.error_bounds.is_empty(),
+        "non-degenerate sampling declares bounds"
+    );
+    for (metric, bound) in &stats.error_bounds {
+        let estimate = sampled
+            .summary_metric(metric)
+            .unwrap_or_else(|| panic!("sampled summary lacks {metric}"));
+        let oracle = exact
+            .summary_metric(metric)
+            .unwrap_or_else(|| panic!("exact summary lacks {metric}"));
+        let error = (estimate - oracle).abs();
+        assert!(
+            error <= *bound,
+            "{metric}: |{estimate} - {oracle}| = {error} exceeds declared bound {bound} \
+             (dispersion {})",
+            stats.mean_dispersion
+        );
+    }
+    // The exact metrics are reconstructed exactly, not estimated.
+    assert_eq!(
+        sampled.summary_metric("scenarios"),
+        exact.summary_metric("scenarios")
+    );
+    assert_eq!(
+        sampled.summary_metric("fabrics_built"),
+        exact.summary_metric("fabrics_built")
+    );
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "release-only: simulates the 192-scenario reference grid twice"
+)]
+fn reference_grid_reconstruction_is_within_declared_bounds() {
+    let grid = reference_grid(); // 192 scenarios
+    let exact = grid.run();
+    let sampled = grid.run_sampled(&SampleConfig::with_clusters(24));
+    let stats = sampled.sampling.as_ref().unwrap();
+    assert!(!stats.exact);
+    assert_eq!(stats.total, 192);
+    assert!(stats.evaluated <= 24);
+    assert_within_declared_bounds(&sampled, &exact);
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "release-only: simulates the 64x replicate-inflated reference grid"
+)]
+fn replicate_inflated_grid_reduces_10x_within_bounds() {
+    // 64x the reference replicate axis: 12288 scenarios, the regime the
+    // sampler exists for (replicates of seed-insensitive patterns collapse
+    // onto identical feature vectors).
+    let grid = reference_grid().replicates(2048);
+    let exact = grid.run();
+    let sampled = grid.run_sampled(&SampleConfig::with_clusters(48));
+    let stats = sampled.sampling.as_ref().unwrap();
+    assert!(!stats.exact);
+    assert_eq!(stats.total, 12288);
+    assert!(
+        stats.reduction() >= 10.0,
+        "reduction {}x below the 10x acceptance floor",
+        stats.reduction()
+    );
+    assert_within_declared_bounds(&sampled, &exact);
+}
+
+#[test]
+fn cluster_budget_covering_the_grid_is_byte_identical_to_exact() {
+    // K >= scenario count: the sampler must degenerate to the oracle,
+    // byte for byte (SamplingStats is metadata, excluded from the JSON).
+    let grid = SweepGrid::named("degenerate")
+        .mcm_counts([16, 24])
+        .patterns([
+            TrafficPattern::Permutation { demand_gbps: 200.0 },
+            TrafficPattern::HotSpot {
+                hot_mcms: 2,
+                demand_gbps: 300.0,
+            },
+        ])
+        .replicates(4); // 16 scenarios
+    let exact_json = grid.run().to_json();
+    for clusters in [16, 17, 1000] {
+        let sampled = grid.run_sampled(&SampleConfig::with_clusters(clusters));
+        assert_eq!(
+            sampled.to_json(),
+            exact_json,
+            "K={clusters} must degenerate to the exhaustive oracle"
+        );
+        assert!(sampled.sampling.unwrap().exact);
+    }
+}
+
+#[test]
+fn energy_metrics_are_reconstructed_within_bounds() {
+    // A small energy-enabled grid keeps this suite running in debug too:
+    // the energy summary block (total_energy_j, mean_power_w) must carry
+    // bounds and satisfy them like the satisfaction/latency metrics.
+    let grid = SweepGrid::named("energy-acc")
+        .mcm_counts([24])
+        .patterns([
+            TrafficPattern::Uniform {
+                flows_per_mcm: 4,
+                demand_gbps: 150.0,
+            },
+            TrafficPattern::HotSpot {
+                hot_mcms: 2,
+                demand_gbps: 400.0,
+            },
+        ])
+        .energy_modes([EnergyMode::AlwaysOn, EnergyMode::UtilizationScaled])
+        .replicates(16); // 128 scenarios
+    let exact = grid.run();
+    let sampled = grid.run_sampled(&SampleConfig::with_clusters(12));
+    let stats = sampled.sampling.as_ref().unwrap();
+    assert!(!stats.exact);
+    assert!(stats.bound("total_energy_j").is_some());
+    assert!(stats.bound("mean_power_w").is_some());
+    assert_within_declared_bounds(&sampled, &exact);
+}
+
+#[test]
+fn sampled_rows_carry_cluster_weights_that_cover_the_grid() {
+    let grid = SweepGrid::named("weights")
+        .mcm_counts([16])
+        .patterns([TrafficPattern::Permutation { demand_gbps: 250.0 }])
+        .replicates(64);
+    let sampled = grid.run_sampled(&SampleConfig::with_clusters(8));
+    let weight_sum: u64 = sampled
+        .rows
+        .iter()
+        .map(|row| {
+            row.params
+                .iter()
+                .find(|(k, _)| k == "cluster_weight")
+                .expect("sampled rows carry cluster_weight")
+                .1
+                .parse::<u64>()
+                .expect("cluster_weight is integral")
+        })
+        .sum();
+    assert_eq!(weight_sum, 64, "weights partition the grid population");
+}

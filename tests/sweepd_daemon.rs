@@ -7,12 +7,22 @@ use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::{Command, Output};
 
+use disagg_core::sample::SampleConfig;
 use disagg_core::sweep::SweepGrid;
 
 const JOB: &str = r#"{"grid":{"mcm_counts":[16,24],"replicates":4},"rows_per_shard":3}"#;
 
 fn job_grid() -> SweepGrid {
     SweepGrid::default().mcm_counts([16, 24]).replicates(4)
+}
+
+const SAMPLED_JOB: &str = concat!(
+    r#"{"grid":{"mcm_counts":[16,24],"replicates":8},"rows_per_shard":1,"#,
+    r#""sample":{"clusters":4}}"#
+);
+
+fn sampled_grid() -> SweepGrid {
+    SweepGrid::default().mcm_counts([16, 24]).replicates(8)
 }
 
 fn temp_dir(tag: &str) -> PathBuf {
@@ -96,6 +106,69 @@ fn killed_daemon_resumes_from_checkpoints_byte_identically() {
         fs::read_to_string(spool.join("done/again.result.json")).unwrap(),
         result
     );
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn killed_sampled_job_resumes_and_never_shares_shards_with_exact_runs() {
+    let dir = temp_dir("sampled");
+    let spool = dir.join("spool");
+    submit(&spool, "sampled.json", SAMPLED_JOB);
+    let spool_arg = spool.to_str().unwrap();
+    let config = SampleConfig::with_clusters(4);
+    let grid = sampled_grid();
+    let sampled_key = format!("{}-s{}", grid.grid_hash(), config.sample_hash());
+
+    // Kill after one fresh shard: the checkpoint lands under the composite
+    // sampled cache key, never under the exact grid's key.
+    let crashed = sweepd(&["--spool", spool_arg, "--max-shards", "1"]);
+    assert_eq!(
+        crashed.status.code(),
+        Some(3),
+        "{}",
+        String::from_utf8_lossy(&crashed.stderr)
+    );
+    assert!(spool.join("incoming/sampled.json").exists());
+    let sampled_dir = spool.join("cache").join(&sampled_key);
+    assert!(sampled_dir.join("shard0.json").exists());
+    assert!(!spool.join("cache").join(grid.grid_hash()).exists());
+
+    // Restart: the resumed merge is byte-identical to an uninterrupted
+    // in-process sampled run, and the job line carries the marker.
+    let resumed = sweepd(&["--spool", spool_arg]);
+    assert!(
+        resumed.status.success(),
+        "{}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    let result = fs::read_to_string(spool.join("done/sampled.result.json")).unwrap();
+    assert_eq!(result, grid.run_sampled(&config).to_json() + "\n");
+    let stderr = String::from_utf8(resumed.stderr).unwrap();
+    assert!(stderr.contains(" (sampled)"), "{stderr}");
+
+    // Resubmitting the same grid WITHOUT sampling must not reuse any
+    // sampled shard: the exact job runs every shard fresh under its own
+    // key and reproduces the exhaustive oracle.
+    submit(
+        &spool,
+        "zz-exact.json",
+        r#"{"grid":{"mcm_counts":[16,24],"replicates":8},"rows_per_shard":4}"#,
+    );
+    let exact = sweepd(&["--spool", spool_arg]);
+    assert!(
+        exact.status.success(),
+        "{}",
+        String::from_utf8_lossy(&exact.stderr)
+    );
+    let stderr = String::from_utf8(exact.stderr).unwrap();
+    assert!(stderr.contains("cached 0 executed 4"), "{stderr}");
+    assert!(!stderr.contains("(sampled)"), "{stderr}");
+    assert_eq!(
+        fs::read_to_string(spool.join("done/zz-exact.result.json")).unwrap(),
+        grid.run().to_json() + "\n"
+    );
+    assert!(spool.join("cache").join(grid.grid_hash()).exists());
+    assert!(sampled_dir.exists());
     fs::remove_dir_all(&dir).unwrap();
 }
 
