@@ -46,6 +46,15 @@
 //! replicate-inflated reference grid, verifies every reconstructed summary
 //! metric against its declared error bound, and writes the record to FILE
 //! (`BENCH_sample.json` in CI); any bound violation exits 1.
+//!
+//! Cross-scenario computation reuse (dedup-planned solving plus
+//! demand-matrix memoization) is on by default and byte-exact;
+//! `--no-reuse` disables it, solving every scenario independently —
+//! useful for timing comparisons and as a paranoia switch. `--bench-reuse
+//! FILE` times reuse-on vs reuse-off execution of the energy/latency
+//! -inflated reference grid, verifies the two outputs are byte-identical,
+//! and writes the record to FILE (`BENCH_reuse.json` in CI); a speedup
+//! below 1.5x or any output divergence exits 1.
 
 use std::process::exit;
 use std::time::Instant;
@@ -63,9 +72,9 @@ fn usage() -> ! {
          \x20            [--fabric awgr|wave|spatial,..] [--pattern P,..] [--demand GBPS]\n\
          \x20            [--latency NS,..] [--energy always|util,..] [--replicates N]\n\
          \x20            [--seed N] [--threads N] [--row-cap N] [--shard-rows N]\n\
-         \x20            [--sample K] [--sample-report]\n\
+         \x20            [--sample K] [--sample-report] [--no-reuse]\n\
          \x20            [--bench FILE] [--bench-floor EFF] [--bench-sps-floor SPS]\n\
-         \x20            [--bench-force] [--bench-sample FILE] [--json]\n\
+         \x20            [--bench-force] [--bench-sample FILE] [--bench-reuse FILE] [--json]\n\
          patterns: uniformN | permutation | hotspotN | neighborN | alltoall"
     );
     exit(2);
@@ -163,7 +172,11 @@ fn parse_energy(value: &str) -> Vec<EnergyMode> {
 /// Time the reference grid at 1 thread vs the *effective* thread count
 /// `min(threads, available_cores)`, verify the outputs are byte-identical,
 /// and write the numbers to `path` as one versioned JSON object
-/// (`"version":3`). Requesting more threads than the machine has cannot
+/// (`"version":4`, which adds the `matrices_reused` counter from the
+/// serial run's [`ReuseStats`](disagg_core::ReuseStats) — the plain reference grid has no energy
+/// axis, so dedup finds no groups, but seed-insensitive patterns still
+/// share demand matrices across replicates). Requesting more threads than
+/// the machine has cannot
 /// buy parallelism — the pool would just time context-switch overhead — so
 /// the parallel measurement is clamped to the cores that exist: `threads`
 /// reports the clamped count actually benchmarked, `requested_threads` the
@@ -217,8 +230,9 @@ fn run_bench(
     let efficiency = speedup / effective as f64;
     let sps_serial = scenarios as f64 / (serial_ms / 1e3);
     let sps_parallel = scenarios as f64 / (parallel_ms / 1e3);
+    let matrices_reused = serial.reuse.map_or(0, |r| r.matrices_reused);
     let json = format!(
-        "{{\"version\":3,\"grid\":\"{}\",\"scenarios\":{scenarios},\
+        "{{\"version\":4,\"grid\":\"{}\",\"scenarios\":{scenarios},\
          \"available_cores\":{cores},\
          \"wall_ms_1_thread\":{serial_ms:.1},\"threads\":{effective},\
          \"requested_threads\":{threads},\"degraded\":{degraded},\
@@ -226,6 +240,7 @@ fn run_bench(
          \"parallel_efficiency\":{efficiency:.2},\
          \"scenarios_per_sec_1_thread\":{sps_serial:.1},\
          \"scenarios_per_sec_n_threads\":{sps_parallel:.1},\
+         \"matrices_reused\":{matrices_reused},\
          \"identical_output\":{identical}}}",
         serial.name,
     );
@@ -320,6 +335,67 @@ fn run_bench_sample(path: &str, threads: usize) {
     }
 }
 
+/// Time reuse-on vs reuse-off execution of the energy/latency-inflated
+/// reference grid (two energy modes x two latencies: 768 scenarios, every
+/// dedup group holding the two energy-mode variants of one physical
+/// solve), verify the two reports are byte-identical, and write one
+/// versioned JSON record to `path` (`BENCH_reuse.json` in CI). A speedup
+/// below 1.5x — dedup halves the solver work on this grid, so healthy
+/// numbers sit near 2x — or any output divergence exits 1.
+fn run_bench_reuse(path: &str, threads: usize) {
+    let grid = reference_grid()
+        .energy_modes([EnergyMode::AlwaysOn, EnergyMode::UtilizationScaled])
+        .direct_latencies_ns([25.0, 35.0]);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let effective = threads.min(cores).max(1);
+    let _ = rayon::with_max_threads(effective, || reference_grid().replicates(1).run());
+    let start = Instant::now();
+    let off = rayon::with_max_threads(effective, || {
+        grid.run_streaming(&StreamConfig {
+            reuse: false,
+            ..StreamConfig::default()
+        })
+    });
+    let off_ms = start.elapsed().as_secs_f64() * 1e3;
+    let start = Instant::now();
+    let on = rayon::with_max_threads(effective, || grid.run_streaming(&StreamConfig::default()));
+    let on_ms = start.elapsed().as_secs_f64() * 1e3;
+    let identical = on.to_json() == off.to_json();
+    let stats = on.reuse.expect("reuse-on run attaches ReuseStats");
+    let scenarios = on.rows.len();
+    let speedup = off_ms / on_ms;
+    let json = format!(
+        "{{\"version\":1,\"grid\":\"{}\",\"scenarios\":{scenarios},\
+         \"threads\":{effective},\
+         \"wall_ms_reuse_off\":{off_ms:.1},\"wall_ms_reuse_on\":{on_ms:.1},\
+         \"reuse_speedup\":{speedup:.2},\
+         \"groups\":{},\"leaders_solved\":{},\"followers_replayed\":{},\
+         \"matrices_reused\":{},\"hit_rate\":{:.3},\
+         \"solver_s_saved\":{:.3},\
+         \"identical_output\":{identical}}}",
+        on.name,
+        stats.groups,
+        stats.leaders_solved,
+        stats.followers_replayed,
+        stats.matrices_reused,
+        stats.hit_rate(),
+        stats.solver_s_saved,
+    );
+    std::fs::write(path, format!("{json}\n")).unwrap_or_else(|e| {
+        eprintln!("sweep: cannot write {path}: {e}");
+        exit(1);
+    });
+    println!("{json}");
+    if !identical {
+        eprintln!("sweep: reuse-on output diverged from reuse-off — exactness bug");
+        exit(1);
+    }
+    if speedup < 1.5 {
+        eprintln!("sweep: reuse speedup {speedup:.2}x below the 1.5x floor");
+        exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut grid = SweepGrid::named("sweep");
@@ -334,8 +410,10 @@ fn main() {
     let mut bench_sps_floor: Option<f64> = None;
     let mut bench_force = false;
     let mut bench_sample_path: Option<String> = None;
+    let mut bench_reuse_path: Option<String> = None;
     let mut sample_clusters: Option<usize> = None;
     let mut sample_report = false;
+    let mut reuse = true;
 
     // `--demand` must apply to the patterns no matter the flag order, so
     // patterns are parsed after the full argument scan.
@@ -354,6 +432,11 @@ fn main() {
         }
         if flag == "--bench-force" {
             bench_force = true;
+            i += 1;
+            continue;
+        }
+        if flag == "--no-reuse" {
+            reuse = false;
             i += 1;
             continue;
         }
@@ -382,6 +465,7 @@ fn main() {
             "--bench-floor" => bench_floor = Some(parse_scalar::<f64>(flag, value)),
             "--bench-sps-floor" => bench_sps_floor = Some(parse_scalar::<f64>(flag, value)),
             "--bench-sample" => bench_sample_path = Some(value.clone()),
+            "--bench-reuse" => bench_reuse_path = Some(value.clone()),
             "--sample" => sample_clusters = Some(parse_scalar::<usize>(flag, value).max(1)),
             _ => usage(),
         }
@@ -397,6 +481,10 @@ fn main() {
     if sample_report && sample_clusters.is_none() {
         eprintln!("sweep: --sample-report requires --sample K");
         exit(2);
+    }
+    if let Some(path) = bench_reuse_path {
+        run_bench_reuse(&path, threads);
+        return;
     }
     if let Some(path) = bench_sample_path {
         run_bench_sample(&path, threads);
@@ -430,6 +518,7 @@ fn main() {
     }
     let stream = StreamConfig {
         row_cap,
+        reuse,
         ..StreamConfig::default()
     };
     if let Some(rows_per_shard) = shard_rows {
@@ -449,11 +538,7 @@ fn main() {
         }
         return;
     }
-    let report = if row_cap.is_some() {
-        grid.run_streaming(&stream)
-    } else {
-        grid.run()
-    };
+    let report = grid.run_streaming(&stream);
     if json {
         println!("{}", report.to_json());
     } else {

@@ -48,6 +48,11 @@ pub(crate) fn as_usize(v: &Value, ctx: &str) -> Result<usize, DecodeError> {
     usize::try_from(as_u64(v, ctx)?).map_err(|_| format!("{ctx}: integer out of usize range"))
 }
 
+/// A JSON boolean.
+pub(crate) fn as_bool(v: &Value, ctx: &str) -> Result<bool, DecodeError> {
+    v.as_bool().ok_or_else(|| format!("{ctx}: expected bool"))
+}
+
 /// A JSON array.
 pub(crate) fn as_array<'a>(v: &'a Value, ctx: &str) -> Result<&'a [Value], DecodeError> {
     v.as_array().ok_or_else(|| format!("{ctx}: expected array"))

@@ -34,9 +34,9 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 use crate::codec::{self, DecodeError};
-use crate::report::SweepReport;
+use crate::report::{ReuseStats, SweepReport};
 use crate::sample::{push_weighted_row, ClusterPlan, SampleAggregator, SampleConfig};
-use crate::sweep::exec::{push_row, run_scenario, FabricCache, StreamAggregator, WorkerScratch};
+use crate::sweep::exec::{execute_batch, push_row, FabricCache, ReuseAccum, StreamAggregator};
 use crate::sweep::{StreamConfig, SweepGrid};
 
 /// A sweep job: a grid plus the execution knobs of the `sweepd` job-file
@@ -62,6 +62,13 @@ pub struct JobSpec {
     /// [`SweepGrid::run_sampled`]); its shards live under the composite
     /// cache key [`JobSpec::cache_key`].
     pub sample: Option<SampleConfig>,
+    /// Cross-scenario computation reuse (`reuse` field in the job file,
+    /// default `true`): dedup-planned solving plus demand-matrix
+    /// memoization within each batch. Reuse is byte-exact — the merged
+    /// report is identical either way — so the knob is deliberately
+    /// *excluded* from [`JobSpec::cache_key`]: reuse-on and reuse-off runs
+    /// of the same grid share one shard cache.
+    pub reuse: bool,
 }
 
 impl Default for JobSpec {
@@ -72,6 +79,7 @@ impl Default for JobSpec {
             rows_per_shard: 256,
             batch_size: StreamConfig::default().batch_size,
             sample: None,
+            reuse: true,
         }
     }
 }
@@ -116,6 +124,7 @@ impl JobSpec {
                 "rows_per_shard" => spec.rows_per_shard = codec::as_usize(value, &ctx)?.max(1),
                 "batch_size" => spec.batch_size = codec::as_usize(value, &ctx)?.max(1),
                 "sample" => spec.sample = Some(SampleConfig::from_json_value(value, &ctx)?),
+                "reuse" => spec.reuse = codec::as_bool(value, &ctx)?,
                 _ => return Err(format!("job: unknown field {key:?}")),
             }
         }
@@ -141,6 +150,9 @@ impl JobSpec {
         if let Some(sample) = &self.sample {
             out.push_str(",\"sample\":");
             out.push_str(&sample.to_json());
+        }
+        if !self.reuse {
+            out.push_str(",\"reuse\":false");
         }
         out.push('}');
         out
@@ -201,6 +213,10 @@ pub struct JobOutcome {
     /// report covers only the shards processed so far, and a rerun will
     /// resume from the first missing shard.
     pub suspended: bool,
+    /// Computation-reuse counters accumulated across the shards *executed
+    /// fresh this run* (cached shards did no solving). `None` when the spec
+    /// disabled reuse; all-zero on a full cache hit.
+    pub reuse: Option<ReuseStats>,
 }
 
 /// A job-execution failure: cache I/O or a corrupt input, with context.
@@ -309,6 +325,7 @@ impl JobRunner {
         // executes: a fully cached job performs zero fabric constructions
         // (and zero scenario evaluations).
         let mut fabric_cache: Option<FabricCache> = None;
+        let mut accum = ReuseAccum::new();
 
         for k in 0..shards_total {
             let start = k * per_shard;
@@ -327,7 +344,7 @@ impl JobRunner {
                 Some(cache) => cache,
                 None => fabric_cache.insert(FabricCache::from_grid(grid, true)),
             };
-            let shard = execute_shard(grid, spec, cache, k, start, end);
+            let shard = execute_shard(grid, spec, cache, k, start, end, &mut accum);
             write_shard(&grid_dir, &path, &shard)?;
             scenarios_executed += shard.rows.len();
             shards_executed += 1;
@@ -338,6 +355,8 @@ impl JobRunner {
         if let (Some(sample), Some(plan)) = (&spec.sample, &plan) {
             report.sampling = Some(plan.stats(sample, &report.summary));
         }
+        let reuse = spec.reuse.then(|| accum.stats());
+        report.reuse = reuse;
         Ok(JobOutcome {
             report,
             grid_hash,
@@ -346,6 +365,7 @@ impl JobRunner {
             shards_executed,
             scenarios_executed,
             suspended,
+            reuse,
         })
     }
 
@@ -376,6 +396,7 @@ impl JobRunner {
         let mut scenarios_executed = 0usize;
         let mut suspended = false;
         let mut fabric_cache: Option<FabricCache> = None;
+        let mut accum = ReuseAccum::new();
 
         for k in 0..shards_total {
             let start = k * per_shard;
@@ -396,14 +417,16 @@ impl JobRunner {
                 // merged `fabrics_built` matches the oracle's.
                 None => fabric_cache.insert(FabricCache::from_grid(grid, true)),
             };
-            let shard = execute_sampled_shard(grid, spec, cache, plan, k, start, end);
+            let shard = execute_sampled_shard(spec, cache, plan, k, start, end, &mut accum);
             write_shard(&grid_dir, &path, &shard)?;
             scenarios_executed += shard.rows.len();
             shards_executed += 1;
             shards.push(shard);
         }
 
-        let report = merge_sampled_shards(grid, sample, plan, &shards)?;
+        let mut report = merge_sampled_shards(grid, sample, plan, &shards)?;
+        let reuse = spec.reuse.then(|| accum.stats());
+        report.reuse = reuse;
         Ok(JobOutcome {
             report,
             grid_hash,
@@ -412,6 +435,7 @@ impl JobRunner {
             shards_executed,
             scenarios_executed,
             suspended,
+            reuse,
         })
     }
 }
@@ -434,6 +458,7 @@ fn execute_shard(
     k: usize,
     start: usize,
     end: usize,
+    accum: &mut ReuseAccum,
 ) -> SweepReport {
     let mut shard = SweepReport::new(format!("{}.shard{k}", grid.name));
     let scenarios = grid.scenarios();
@@ -446,15 +471,15 @@ fn execute_shard(
                 .map(|i| scenarios.get(i).expect("scenario index within grid bounds")),
         );
         next += batch.len();
-        let results = crate::sweep::parallel_map_with(&batch, WorkerScratch::new, |scratch, s| {
-            run_scenario(
-                s,
-                cache,
-                grid.indirect_hop_latency_ns,
-                &grid.energy_config,
-                scratch,
-            )
-        });
+        let results = execute_batch(
+            &batch,
+            cache,
+            grid.indirect_hop_latency_ns,
+            &grid.energy_config,
+            spec.reuse,
+            None,
+            accum,
+        );
         for result in results {
             push_row(&mut shard, result);
         }
@@ -467,14 +492,15 @@ fn execute_shard(
 /// cluster weight (see `push_weighted_row`) so the shard is
 /// self-describing on disk.
 fn execute_sampled_shard(
-    grid: &SweepGrid,
     spec: &JobSpec,
     cache: &FabricCache,
     plan: &ClusterPlan,
     k: usize,
     start: usize,
     end: usize,
+    accum: &mut ReuseAccum,
 ) -> SweepReport {
+    let grid = &spec.grid;
     let mut shard = SweepReport::new(format!("{}.shard{k}", grid.name));
     let scenarios = grid.scenarios();
     let mut batch = Vec::with_capacity(spec.batch_size.min(end - start));
@@ -486,15 +512,15 @@ fn execute_sampled_shard(
                 .get(plan.representatives[r].index)
                 .expect("representative index within grid bounds")
         }));
-        let results = crate::sweep::parallel_map_with(&batch, WorkerScratch::new, |scratch, s| {
-            run_scenario(
-                s,
-                cache,
-                grid.indirect_hop_latency_ns,
-                &grid.energy_config,
-                scratch,
-            )
-        });
+        let results = execute_batch(
+            &batch,
+            cache,
+            grid.indirect_hop_latency_ns,
+            &grid.energy_config,
+            spec.reuse,
+            None,
+            accum,
+        );
         for (offset, result) in results.into_iter().enumerate() {
             push_weighted_row(
                 &mut shard,

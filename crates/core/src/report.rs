@@ -81,6 +81,63 @@ impl ThroughputStats {
     }
 }
 
+/// Computation-reuse metadata of one sweep run: how much solver work the
+/// executor's dedup-planned reuse layer avoided.
+///
+/// During lazy expansion the executor keys every scenario of a batch by its
+/// *physical* solve inputs (fabric topology, load + policy, latency, seed)
+/// — axes that only change how a solve is *accounted* (energy mode, FEC
+/// energy settings) are factored out. The first scenario of each physical
+/// group is solved normally (a **leader**); the rest (**followers**) are
+/// materialized by replaying the leader's retained report through their own
+/// `EnergyModel`, which is bit-identical because energy accounting is a
+/// pure function of the report. Independently, a per-worker demand-matrix
+/// memo reuses `TrafficPattern::flows` / `DemandTimeline::epoch_matrices`
+/// expansions across scenarios that share one (`matrices_reused`).
+///
+/// Like [`ThroughputStats`], this block is *metadata about how the report
+/// was produced*, not a simulation result: reuse never changes a single
+/// output byte, and the stats themselves may vary with batch size (dedup is
+/// planned per batch), so the block is deliberately excluded from both
+/// [`SweepReport`] equality and [`SweepReport::to_json`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReuseStats {
+    /// Physical groups that actually had ≥ 2 members (i.e. produced at
+    /// least one follower). Singleton groups are not counted.
+    pub groups: usize,
+    /// Scenarios solved for real — one per distinct physical key per batch,
+    /// including singletons.
+    pub leaders_solved: usize,
+    /// Scenarios materialized by replaying a leader's retained report
+    /// instead of solving.
+    pub followers_replayed: usize,
+    /// Demand-matrix expansions served from the per-worker memo instead of
+    /// being regenerated.
+    pub matrices_reused: usize,
+    /// Estimated solver wall-clock avoided, in seconds: each replayed
+    /// follower is credited its leader's measured solve time.
+    pub solver_s_saved: f64,
+}
+
+impl ReuseStats {
+    /// Total scenarios the stats cover. On an uninterrupted run this equals
+    /// the executed scenario count (leaders and followers partition the
+    /// grid); on a resumed job it covers only the shards executed fresh.
+    pub fn scenarios(&self) -> usize {
+        self.leaders_solved + self.followers_replayed
+    }
+
+    /// Fraction of covered scenarios that were replayed rather than solved
+    /// (`followers / (leaders + followers)`); `0.0` when nothing ran.
+    pub fn hit_rate(&self) -> f64 {
+        if self.scenarios() > 0 {
+            self.followers_replayed as f64 / self.scenarios() as f64
+        } else {
+            0.0
+        }
+    }
+}
+
 /// Provenance and accuracy metadata of a representative-scenario sampled
 /// sweep (`SweepGrid::run_sampled`): how many clusters the grid was
 /// collapsed into, how many scenarios were actually evaluated, the
@@ -194,6 +251,12 @@ pub struct SweepReport {
     /// equality and from [`to_json`](SweepReport::to_json): see
     /// [`SamplingStats`].
     pub sampling: Option<SamplingStats>,
+    /// Computation-reuse accounting of the run that produced this report,
+    /// when the executor ran with reuse enabled (the default); `None` with
+    /// `--no-reuse` or for reports not produced by the sweep executor.
+    /// Excluded from equality and from [`to_json`](SweepReport::to_json):
+    /// see [`ReuseStats`].
+    pub reuse: Option<ReuseStats>,
 }
 
 /// Result equality only — [`ThroughputStats`] is run-to-run wall-clock
@@ -218,6 +281,7 @@ impl SweepReport {
             energy: Vec::new(),
             throughput: None,
             sampling: None,
+            reuse: None,
         }
     }
 
@@ -495,6 +559,19 @@ pub fn format_sweep_report(report: &SweepReport) -> String {
             out.push_str(&format!(" {k}={v:.4}"));
         }
         out.push('\n');
+    }
+    if let Some(r) = &report.reuse {
+        out.push_str(&format!(
+            "reuse: {} solved + {} replayed across {} dedup group{} ({:.1}% hit), \
+             {} matrices reused, ~{:.3} s solver saved\n",
+            r.leaders_solved,
+            r.followers_replayed,
+            r.groups,
+            if r.groups == 1 { "" } else { "s" },
+            r.hit_rate() * 100.0,
+            r.matrices_reused,
+            r.solver_s_saved,
+        ));
     }
     if let Some(t) = &report.throughput {
         out.push_str(&format!(

@@ -79,10 +79,7 @@ fn policy_unit(label: &str) -> f64 {
 fn demand_features(scenario: &Scenario, memo: &mut SignatureMemo) -> (DemandSignature, f64, f64) {
     let mcm_count = scenario.fabric.mcm_count;
     let (key, effective_seed) = match &scenario.load {
-        ScenarioLoad::Pattern(p) => (
-            format!("{}@{:016x}", p.label(), p.demand_gbps().to_bits()),
-            if p.seed_sensitive() { scenario.seed } else { 0 },
-        ),
+        ScenarioLoad::Pattern(p) => (p.memo_key(), p.effective_seed(scenario.seed)),
         ScenarioLoad::Timeline(tc) => (tc.timeline.spec_label(), scenario.seed),
         ScenarioLoad::FlexGrid(fc) => (fc.timeline.spec_label(), scenario.seed),
     };

@@ -44,8 +44,8 @@ use workloads::TrafficPattern;
 use crate::codec::{self, DecodeError};
 use crate::energy::EnergyStats;
 use crate::report::{SamplingStats, SweepReport, SweepRow, ThroughputStats};
-use crate::sweep::exec::{run_scenario, FabricCache, WorkerScratch};
-use crate::sweep::{parallel_map_with, Scenario, ScenarioResult, SweepGrid};
+use crate::sweep::exec::{execute_batch, FabricCache, ReuseAccum};
+use crate::sweep::{Scenario, ScenarioResult, SweepGrid};
 
 /// Knobs of the representative-scenario sampler.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -438,15 +438,20 @@ impl SweepGrid {
                     .expect("representative index within grid bounds")
             })
             .collect();
-        let results = parallel_map_with(&reps, WorkerScratch::new, |scratch, s| {
-            run_scenario(
-                s,
-                &cache,
-                self.indirect_hop_latency_ns,
-                &self.energy_config,
-                scratch,
-            )
-        });
+        // Representatives come from distinct clusters, so dedup rarely
+        // fires here — but the demand-matrix memo still pays off when
+        // representatives share a traffic signature, and reuse is
+        // byte-exact, so it stays on unconditionally.
+        let mut accum = ReuseAccum::new();
+        let results = execute_batch(
+            &reps,
+            &cache,
+            self.indirect_hop_latency_ns,
+            &self.energy_config,
+            true,
+            None,
+            &mut accum,
+        );
         let wall_s = started.elapsed().as_secs_f64();
         let mut report = SweepReport::new(self.name.clone());
         let mut aggregator = SampleAggregator::new(plan.total);
@@ -467,6 +472,7 @@ impl SweepGrid {
             wall_s,
             threads: rayon::current_num_threads(),
         });
+        report.reuse = Some(accum.stats());
         report
     }
 }

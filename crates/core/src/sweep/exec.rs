@@ -11,7 +11,9 @@
 //! byte-identical golden fixtures exercise the same machinery a
 //! million-scenario grid uses with a row cap.
 
+use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use fabric::{
@@ -19,9 +21,10 @@ use fabric::{
     FlowSimulator, RackFabric, RackFabricConfig, TimelineArena, TimelineConfig, TimelineSimulator,
 };
 use rayon::prelude::*;
+use workloads::TrafficPattern;
 
 use crate::energy::{EnergyConfig, EnergyModel};
-use crate::report::{SweepReport, SweepRow, ThroughputStats};
+use crate::report::{ReuseStats, SweepReport, SweepRow, ThroughputStats};
 use crate::sweep::grid::SweepGrid;
 use crate::sweep::scenario::{FlexGridRowMetrics, Scenario, ScenarioLoad, ScenarioResult};
 
@@ -77,14 +80,33 @@ where
     items.par_iter().map_init(init, f).collect()
 }
 
-/// Per-worker reusable simulator state: one flow-solver arena and one
-/// timeline arena, built once per pool worker and threaded through every
-/// scenario that worker executes. Purely scratch — see
+/// Entries the per-worker demand memo holds before it is wiped. Eviction
+/// can never change results (a miss just regenerates the matrix), so a
+/// blunt clear-on-cap keeps the bound exact with zero bookkeeping.
+const DEMAND_MEMO_CAP: usize = 128;
+
+/// Demand-memo key: `(demand identity label, mcm_count, effective seed)`.
+type MemoKey = (String, u32, u64);
+
+/// Per-worker reusable simulator state: one flow-solver arena, one
+/// timeline arena, one flex-grid arena, and the bounded demand-matrix
+/// memo, built once per pool worker and threaded through every scenario
+/// that worker executes. Purely scratch — see
 /// [`FlowArena`]/[`TimelineArena`]; reuse never changes results.
 pub(crate) struct WorkerScratch {
     flow: FlowArena,
     timeline: TimelineArena,
     flexgrid: FlexGridArena,
+    /// Static demand matrices keyed by `(pattern memo key, mcm_count,
+    /// effective seed)` — see [`TrafficPattern::memo_key`]. Replicates of a
+    /// seed-insensitive pattern, and every fabric/DWDM/FEC/latency/energy
+    /// variant of any pattern, hit one entry.
+    flows_memo: HashMap<MemoKey, Arc<Vec<Flow>>>,
+    /// Timeline epoch matrices keyed by `(spec label, mcm_count, seed)`.
+    /// Policies are *not* in the key: every reallocation or spectrum policy
+    /// of a timeline — and the wavelength vs flex-grid layers themselves —
+    /// share one expansion.
+    epochs_memo: HashMap<MemoKey, Arc<Vec<Vec<Flow>>>>,
 }
 
 impl WorkerScratch {
@@ -93,7 +115,61 @@ impl WorkerScratch {
             flow: FlowArena::new(),
             timeline: TimelineArena::new(),
             flexgrid: FlexGridArena::new(),
+            flows_memo: HashMap::new(),
+            epochs_memo: HashMap::new(),
         }
+    }
+
+    /// Look up or expand a static pattern's demand matrix. `memo: false`
+    /// (the `--no-reuse` path) bypasses the cache entirely.
+    fn flows(
+        &mut self,
+        pattern: &TrafficPattern,
+        mcm_count: u32,
+        seed: u64,
+        memo: bool,
+        reused: &AtomicUsize,
+    ) -> Arc<Vec<Flow>> {
+        if !memo {
+            return Arc::new(pattern.flows(mcm_count, seed));
+        }
+        let key = (pattern.memo_key(), mcm_count, pattern.effective_seed(seed));
+        if let Some(hit) = self.flows_memo.get(&key) {
+            reused.fetch_add(1, Ordering::Relaxed);
+            return hit.clone();
+        }
+        let flows = Arc::new(pattern.flows(mcm_count, seed));
+        if self.flows_memo.len() >= DEMAND_MEMO_CAP {
+            self.flows_memo.clear();
+        }
+        self.flows_memo.insert(key, flows.clone());
+        flows
+    }
+
+    /// Look up or expand a timeline's epoch matrices (shared across every
+    /// policy and across the wavelength/flex-grid layers).
+    fn epochs(
+        &mut self,
+        timeline: &workloads::DemandTimeline,
+        mcm_count: u32,
+        seed: u64,
+        memo: bool,
+        reused: &AtomicUsize,
+    ) -> Arc<Vec<Vec<Flow>>> {
+        if !memo {
+            return Arc::new(timeline.epoch_matrices(mcm_count, seed));
+        }
+        let key = (timeline.spec_label(), mcm_count, seed);
+        if let Some(hit) = self.epochs_memo.get(&key) {
+            reused.fetch_add(1, Ordering::Relaxed);
+            return hit.clone();
+        }
+        let epochs = Arc::new(timeline.epoch_matrices(mcm_count, seed));
+        if self.epochs_memo.len() >= DEMAND_MEMO_CAP {
+            self.epochs_memo.clear();
+        }
+        self.epochs_memo.insert(key, epochs.clone());
+        epochs
     }
 }
 
@@ -138,6 +214,13 @@ pub struct StreamConfig {
     /// returned report; `None` keeps every row. Summary metrics always
     /// aggregate over *all* executed scenarios, capped or not.
     pub row_cap: Option<usize>,
+    /// Whether the executor's computation-reuse layer is enabled (the
+    /// default): per-batch dedup of physically identical solves with
+    /// energy-replay for the duplicates, plus the per-worker demand-matrix
+    /// memo. Reuse never changes a single output byte — `false` (the
+    /// `--no-reuse` escape hatch) exists for A/B debugging and benchmarks,
+    /// and controls whether [`SweepReport::reuse`] is populated.
+    pub reuse: bool,
 }
 
 impl Default for StreamConfig {
@@ -145,6 +228,7 @@ impl Default for StreamConfig {
         StreamConfig {
             batch_size: 4096,
             row_cap: None,
+            reuse: true,
         }
     }
 }
@@ -211,8 +295,9 @@ impl SweepGrid {
         let mut aggregator = StreamAggregator::new();
         let mut shard_index = 0usize;
         let mut shard = SweepReport::new(format!("{}.shard0", self.name));
+        let mut accum = ReuseAccum::new();
         let started = std::time::Instant::now();
-        let fabrics_built = self.drive(true, config.batch_size.max(1), &mut |result| {
+        let fabrics_built = self.drive(true, config, &mut accum, &mut |result| {
             aggregator.absorb(&result);
             if rows_emitted + shard.rows.len() < row_cap {
                 push_row(&mut shard, result);
@@ -239,6 +324,7 @@ impl SweepGrid {
             wall_s,
             threads: rayon::current_num_threads(),
         });
+        master.reuse = config.reuse.then(|| accum.stats());
         master
     }
 
@@ -246,8 +332,9 @@ impl SweepGrid {
         let row_cap = config.row_cap.unwrap_or(usize::MAX);
         let mut report = SweepReport::new(self.name.clone());
         let mut aggregator = StreamAggregator::new();
+        let mut accum = ReuseAccum::new();
         let started = std::time::Instant::now();
-        let fabrics_built = self.drive(parallel, config.batch_size.max(1), &mut |result| {
+        let fabrics_built = self.drive(parallel, config, &mut accum, &mut |result| {
             aggregator.absorb(&result);
             if report.rows.len() < row_cap {
                 push_row(&mut report, result);
@@ -265,6 +352,7 @@ impl SweepGrid {
                 1
             },
         });
+        report.reuse = config.reuse.then(|| accum.stats());
         report
     }
 
@@ -287,15 +375,18 @@ impl SweepGrid {
     }
 
     /// The core streaming driver: decode scenarios lazily in batches,
-    /// execute each batch across the pool (or serially), and visit every
-    /// result in grid-expansion order. Returns the number of distinct
-    /// fabrics built.
+    /// execute each batch across the pool (or serially) through the
+    /// dedup-planned reuse layer, and visit every result in grid-expansion
+    /// order. Returns the number of distinct fabrics built; reuse
+    /// accounting folds into `accum`.
     fn drive(
         &self,
         parallel: bool,
-        batch_size: usize,
+        config: &StreamConfig,
+        accum: &mut ReuseAccum,
         visit: &mut dyn FnMut(ScenarioResult),
     ) -> usize {
+        let batch_size = config.batch_size.max(1);
         let mut scenarios = self.scenarios();
         if scenarios.len() == 0 {
             return 0;
@@ -318,16 +409,19 @@ impl SweepGrid {
             if batch.is_empty() {
                 break;
             }
-            let results: Vec<ScenarioResult> = if parallel {
-                parallel_map_with(&batch, WorkerScratch::new, |scratch, s| {
-                    run_scenario(s, &cache, hop, &energy_config, scratch)
-                })
-            } else {
-                batch
-                    .iter()
-                    .map(|s| run_scenario(s, &cache, hop, &energy_config, &mut serial_scratch))
-                    .collect()
-            };
+            let results = execute_batch(
+                &batch,
+                &cache,
+                hop,
+                &energy_config,
+                config.reuse,
+                if parallel {
+                    None
+                } else {
+                    Some(&mut serial_scratch)
+                },
+                accum,
+            );
             for result in results {
                 visit(result);
             }
@@ -511,13 +605,294 @@ fn unique_fabric_configs(grid: &SweepGrid) -> Vec<(FabricKey, RackFabricConfig)>
     unique
 }
 
-pub(crate) fn run_scenario(
+/// The physical solve key of one scenario: every input that reaches the
+/// flow/timeline/flex-grid solver, and nothing that doesn't. Two scenarios
+/// with equal keys perform byte-identical solves; axes that only change how
+/// the solve is *accounted* — the energy mode, and FEC fields other than
+/// the bandwidth derating already folded into the fabric's wavelength rate
+/// — are deliberately absent, so an `[always, util]` energy grid dedups
+/// 2:1 by construction.
+type PhysicalKey = (u8, String, FabricKey, u64, u64);
+
+fn physical_key(scenario: &Scenario) -> PhysicalKey {
+    let (kind, load) = scenario.load.solve_key();
+    (
+        kind,
+        load,
+        fabric_key(&scenario.fabric),
+        scenario.direct_latency_ns.to_bits(),
+        scenario.seed,
+    )
+}
+
+/// Running reuse accounting across batches (and, in the jobs layer, across
+/// executed shards). Finalized into a [`ReuseStats`] block on the report.
+#[derive(Debug, Default)]
+pub(crate) struct ReuseAccum {
+    pub(crate) groups: usize,
+    pub(crate) leaders_solved: usize,
+    pub(crate) followers_replayed: usize,
+    pub(crate) matrices_reused: usize,
+    pub(crate) solver_s_saved: f64,
+}
+
+impl ReuseAccum {
+    pub(crate) fn new() -> Self {
+        ReuseAccum::default()
+    }
+
+    pub(crate) fn stats(&self) -> ReuseStats {
+        ReuseStats {
+            groups: self.groups,
+            leaders_solved: self.leaders_solved,
+            followers_replayed: self.followers_replayed,
+            matrices_reused: self.matrices_reused,
+            solver_s_saved: self.solver_s_saved,
+        }
+    }
+}
+
+/// The compact digest of a solved scenario's report that energy replay
+/// needs: exactly the aggregate fields `EnergyModel::account*` read. A few
+/// dozen bytes per leader, so retaining one per distinct solve in a batch
+/// is free — unlike retaining full reports, whose per-flow allocation
+/// vectors run to megabytes on the 350-MCM all-to-all case.
+#[derive(Debug, Clone, Copy)]
+enum RetainedReport {
+    Flow {
+        direct_gbps: f64,
+        indirect_gbps: f64,
+    },
+    Timeline {
+        epochs: usize,
+        reconfigurations: usize,
+        direct_gbps: f64,
+        indirect_gbps: f64,
+    },
+    FlexGrid {
+        epochs: usize,
+        defrag_events: usize,
+        carried_direct_gbps: f64,
+        carried_indirect_gbps: f64,
+        wire_weighted_gbps: f64,
+    },
+}
+
+/// One leader's solve: the finished result, the retained report digest for
+/// follower replay, and the measured solve time (what each follower is
+/// credited as saved).
+pub(crate) struct SolvedScenario {
+    result: ScenarioResult,
+    retained: RetainedReport,
+    solve_s: f64,
+}
+
+/// Materialize a follower's result from its group leader's solve: clone the
+/// result, swap in the follower's own scenario (label, params, energy mode,
+/// FEC), and re-account energy by replaying the retained digest through the
+/// follower's `EnergyModel`. Bit-identical to solving the follower, because
+/// the solver never sees the axes the physical key factored out and energy
+/// accounting is a pure function of the digest.
+fn replay_scenario(
+    leader: &SolvedScenario,
+    scenario: &Scenario,
+    energy_config: &EnergyConfig,
+) -> ScenarioResult {
+    let mut result = leader.result.clone();
+    result.scenario = scenario.clone();
+    result.energy = scenario.energy_mode.map(|mode| {
+        let model = EnergyModel::new(mode, *energy_config, &scenario.fabric, &scenario.fec);
+        match leader.retained {
+            RetainedReport::Flow {
+                direct_gbps,
+                indirect_gbps,
+            } => model.account(1, 0, direct_gbps, indirect_gbps),
+            RetainedReport::Timeline {
+                epochs,
+                reconfigurations,
+                direct_gbps,
+                indirect_gbps,
+            } => model.account(epochs, reconfigurations, direct_gbps, indirect_gbps),
+            RetainedReport::FlexGrid {
+                epochs,
+                defrag_events,
+                carried_direct_gbps,
+                carried_indirect_gbps,
+                wire_weighted_gbps,
+            } => model.account_flexgrid_parts(
+                epochs,
+                defrag_events,
+                carried_direct_gbps,
+                carried_indirect_gbps,
+                wire_weighted_gbps,
+            ),
+        }
+    });
+    result
+}
+
+/// Whether a batch position solves for real or replays a leader's solve.
+enum Role {
+    /// Solve slot `i` of the leader list.
+    Leader(usize),
+    /// Replay the solve in leader slot `i`.
+    Follower(usize),
+}
+
+/// Execute one batch of scenarios through the reuse layer, returning
+/// results in batch order.
+///
+/// With `reuse` on, the batch is first *dedup-planned*: scenarios are
+/// grouped by [`PhysicalKey`], the first member of each group (in batch
+/// order) becomes its leader, and only leaders are dispatched to the
+/// solver. Followers are then materialized by [`replay_scenario`]. The
+/// plan is a pure function of the batch contents — no concurrent memo
+/// cache — so results are thread-count- and axis-reorder-invariant by
+/// construction, and byte-identical to `reuse: false`.
+///
+/// `serial_scratch: Some(..)` runs everything on the caller's thread with
+/// the provided scratch (the `run_serial` reference path); `None` fans out
+/// across the pool with one scratch per worker.
+pub(crate) fn execute_batch(
+    batch: &[Scenario],
+    cache: &FabricCache,
+    indirect_hop_ns: f64,
+    energy_config: &EnergyConfig,
+    reuse: bool,
+    serial_scratch: Option<&mut WorkerScratch>,
+    accum: &mut ReuseAccum,
+) -> Vec<ScenarioResult> {
+    let matrices = AtomicUsize::new(0);
+    if !reuse {
+        return match serial_scratch {
+            Some(scratch) => batch
+                .iter()
+                .map(|s| {
+                    solve_scenario(
+                        s,
+                        cache,
+                        indirect_hop_ns,
+                        energy_config,
+                        false,
+                        scratch,
+                        &matrices,
+                    )
+                    .result
+                })
+                .collect(),
+            None => parallel_map_with(batch, WorkerScratch::new, |scratch, s| {
+                solve_scenario(
+                    s,
+                    cache,
+                    indirect_hop_ns,
+                    energy_config,
+                    false,
+                    scratch,
+                    &matrices,
+                )
+                .result
+            }),
+        };
+    }
+
+    // Dedup plan: first occurrence of each physical key leads its group.
+    let mut plan: HashMap<PhysicalKey, usize> = HashMap::with_capacity(batch.len());
+    let mut roles: Vec<Role> = Vec::with_capacity(batch.len());
+    let mut leaders: Vec<&Scenario> = Vec::new();
+    let mut follower_counts: Vec<usize> = Vec::new();
+    for scenario in batch {
+        match plan.entry(physical_key(scenario)) {
+            Entry::Occupied(slot) => {
+                let slot = *slot.get();
+                follower_counts[slot] += 1;
+                roles.push(Role::Follower(slot));
+            }
+            Entry::Vacant(v) => {
+                let slot = leaders.len();
+                v.insert(slot);
+                leaders.push(scenario);
+                follower_counts.push(0);
+                roles.push(Role::Leader(slot));
+            }
+        }
+    }
+
+    let solved: Vec<SolvedScenario> = match serial_scratch {
+        Some(scratch) => leaders
+            .iter()
+            .map(|s| {
+                solve_scenario(
+                    s,
+                    cache,
+                    indirect_hop_ns,
+                    energy_config,
+                    true,
+                    scratch,
+                    &matrices,
+                )
+            })
+            .collect(),
+        None => parallel_map_with(&leaders, WorkerScratch::new, |scratch, s| {
+            solve_scenario(
+                s,
+                cache,
+                indirect_hop_ns,
+                energy_config,
+                true,
+                scratch,
+                &matrices,
+            )
+        }),
+    };
+
+    accum.leaders_solved += leaders.len();
+    accum.followers_replayed += batch.len() - leaders.len();
+    accum.groups += follower_counts.iter().filter(|&&c| c > 0).count();
+    for (slot, &count) in follower_counts.iter().enumerate() {
+        if count > 0 {
+            accum.solver_s_saved += solved[slot].solve_s * count as f64;
+        }
+    }
+    accum.matrices_reused += matrices.load(Ordering::Relaxed);
+
+    let mut solved: Vec<Option<SolvedScenario>> = solved.into_iter().map(Some).collect();
+    roles
+        .iter()
+        .zip(batch)
+        .map(|(role, scenario)| match role {
+            // A leader with no followers can move its result out; one with
+            // followers is cloned (replays read it after emission, since
+            // the leader is always the group's first batch position).
+            Role::Leader(slot) if follower_counts[*slot] == 0 => {
+                solved[*slot].take().expect("leader solved once").result
+            }
+            Role::Leader(slot) => solved[*slot]
+                .as_ref()
+                .expect("leader solved once")
+                .result
+                .clone(),
+            Role::Follower(slot) => replay_scenario(
+                solved[*slot].as_ref().expect("leader precedes follower"),
+                scenario,
+                energy_config,
+            ),
+        })
+        .collect()
+}
+
+/// Solve one scenario for real: expand (or memo-fetch) its demand, run the
+/// matching simulator, and package the result with the retained digest and
+/// measured solve time.
+fn solve_scenario(
     scenario: &Scenario,
     cache: &FabricCache,
     indirect_hop_ns: f64,
     energy_config: &EnergyConfig,
+    memo: bool,
     scratch: &mut WorkerScratch,
-) -> ScenarioResult {
+    matrices: &AtomicUsize,
+) -> SolvedScenario {
+    let started = std::time::Instant::now();
     let fabric = cache.get(&scenario.fabric);
     let flow_config = FlowSimConfig {
         direct_latency_ns: scenario.direct_latency_ns,
@@ -531,8 +906,18 @@ pub(crate) fn run_scenario(
         .map(|mode| EnergyModel::new(mode, *energy_config, &scenario.fabric, &scenario.fec));
     match &scenario.load {
         ScenarioLoad::Pattern(pattern) => {
-            let flows = pattern.flows(scenario.fabric.mcm_count, scenario.seed);
+            let flows = scratch.flows(
+                pattern,
+                scenario.fabric.mcm_count,
+                scenario.seed,
+                memo,
+                matrices,
+            );
             let report = FlowSimulator::new(fabric, flow_config).run_in(&mut scratch.flow, &flows);
+            let retained = RetainedReport::Flow {
+                direct_gbps: report.fabric_direct_gbps,
+                indirect_gbps: report.fabric_indirect_gbps,
+            };
             let result = ScenarioResult {
                 scenario: scenario.clone(),
                 flows: flows.len(),
@@ -549,12 +934,20 @@ pub(crate) fn run_scenario(
                 flexgrid: None,
             };
             scratch.flow.recycle(report);
-            result
+            SolvedScenario {
+                result,
+                retained,
+                solve_s: started.elapsed().as_secs_f64(),
+            }
         }
         ScenarioLoad::Timeline(tc) => {
-            let epochs: Vec<Vec<Flow>> = tc
-                .timeline
-                .epoch_matrices(scenario.fabric.mcm_count, scenario.seed);
+            let epochs = scratch.epochs(
+                &tc.timeline,
+                scenario.fabric.mcm_count,
+                scenario.seed,
+                memo,
+                matrices,
+            );
             let sim = TimelineSimulator::new(
                 fabric,
                 TimelineConfig {
@@ -563,6 +956,12 @@ pub(crate) fn run_scenario(
                 },
             );
             let report = sim.run_in(&mut scratch.timeline, &epochs);
+            let retained = RetainedReport::Timeline {
+                epochs: report.epochs.len(),
+                reconfigurations: report.epochs.iter().filter(|e| e.reconfigured).count(),
+                direct_gbps: report.fabric_direct_gbps,
+                indirect_gbps: report.fabric_indirect_gbps,
+            };
             let result = ScenarioResult {
                 scenario: scenario.clone(),
                 flows: report.epochs.iter().map(|e| e.flows).sum(),
@@ -579,15 +978,23 @@ pub(crate) fn run_scenario(
                 flexgrid: None,
             };
             scratch.timeline.recycle(report);
-            result
+            SolvedScenario {
+                result,
+                retained,
+                solve_s: started.elapsed().as_secs_f64(),
+            }
         }
         ScenarioLoad::FlexGrid(fc) => {
             // Flex-grid scenarios share their timeline's seed derivation
             // with wavelength-timeline scenarios, so the two layers are
             // graded against the identical epoch-by-epoch demand.
-            let epochs: Vec<Vec<Flow>> = fc
-                .timeline
-                .epoch_matrices(scenario.fabric.mcm_count, scenario.seed);
+            let epochs = scratch.epochs(
+                &fc.timeline,
+                scenario.fabric.mcm_count,
+                scenario.seed,
+                memo,
+                matrices,
+            );
             let sim = FlexGridSimulator::new(
                 fabric,
                 FlexGridConfig {
@@ -606,6 +1013,13 @@ pub(crate) fn run_scenario(
                     / carried
             } else {
                 0.0
+            };
+            let retained = RetainedReport::FlexGrid {
+                epochs: report.epochs.len(),
+                defrag_events: report.defrag_events,
+                carried_direct_gbps: report.carried_direct_gbps,
+                carried_indirect_gbps: report.carried_indirect_gbps,
+                wire_weighted_gbps: report.wire_weighted_gbps,
             };
             let result = ScenarioResult {
                 scenario: scenario.clone(),
@@ -628,7 +1042,11 @@ pub(crate) fn run_scenario(
                 }),
             };
             scratch.flexgrid.recycle(report);
-            result
+            SolvedScenario {
+                result,
+                retained,
+                solve_s: started.elapsed().as_secs_f64(),
+            }
         }
     }
 }

@@ -296,7 +296,7 @@ mod tests {
         let reference = grid.run();
         let streamed = grid.run_streaming(&StreamConfig {
             batch_size: 3,
-            row_cap: None,
+            ..StreamConfig::default()
         });
         assert_eq!(streamed.to_json(), reference.to_json());
     }

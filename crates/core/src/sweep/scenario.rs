@@ -37,6 +37,31 @@ impl ScenarioLoad {
             }
         }
     }
+
+    /// The load half of the executor's physical solve key: a kind ordinal
+    /// plus a string covering every load parameter that reaches the solver.
+    ///
+    /// Patterns key on [`TrafficPattern::memo_key`] (family, shape
+    /// parameters, demand bits); temporal loads key on the timeline's
+    /// [`spec_label`](workloads::DemandTimeline::spec_label) (every
+    /// demand-defining phase parameter) *plus* the policy label, because —
+    /// unlike the scenario seed, which excludes policies so they share
+    /// demand — the policy changes what the solver computes. Display names
+    /// (`DemandTimeline::name`) are deliberately absent: renaming a
+    /// timeline must not split a dedup group.
+    pub(crate) fn solve_key(&self) -> (u8, String) {
+        match self {
+            ScenarioLoad::Pattern(p) => (0, p.memo_key()),
+            ScenarioLoad::Timeline(tc) => (
+                1,
+                format!("{}~{}", tc.timeline.spec_label(), tc.policy.label()),
+            ),
+            ScenarioLoad::FlexGrid(fc) => (
+                2,
+                format!("{}~{}", fc.timeline.spec_label(), fc.policy.label()),
+            ),
+        }
+    }
 }
 
 /// One point on the temporal load axis: a timeline and the policy it runs

@@ -336,7 +336,12 @@ impl DemandTimeline {
     /// A stable label covering every demand-defining parameter of the
     /// timeline (phase patterns, durations, scales, rotations). Used by the
     /// sweep engine's seed derivation, so two timelines that offer the same
-    /// traffic share a seed regardless of their display `name`.
+    /// traffic share a seed regardless of their display `name` — and, for
+    /// the same reason, as the memo key under which the `core::sample`
+    /// signature cache and the sweep executor's demand-matrix memo share
+    /// one [`epoch_matrices`](DemandTimeline::epoch_matrices) expansion
+    /// across scenarios: equal labels (plus rack size and seed) guarantee
+    /// identical epoch matrices.
     pub fn spec_label(&self) -> String {
         let mut out = String::new();
         for p in &self.phases {

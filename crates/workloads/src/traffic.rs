@@ -188,6 +188,28 @@ impl TrafficPattern {
         )
     }
 
+    /// A memoization key covering every parameter that defines this
+    /// pattern's expanded flow list besides rack size and seed: the family
+    /// label (which embeds the per-family shape parameters) plus the exact
+    /// demand bits. Two patterns with equal keys expand to identical
+    /// matrices at any `(mcm_count, effective seed)` — the contract both
+    /// the `core::sample` signature memo and the sweep executor's
+    /// demand-matrix memo key on.
+    pub fn memo_key(&self) -> String {
+        format!("{}@{:016x}", self.label(), self.demand_gbps().to_bits())
+    }
+
+    /// The seed that actually selects this pattern's expansion: the
+    /// scenario seed for seed-sensitive families, `0` otherwise — so every
+    /// replicate of a seed-insensitive pattern memoizes to one entry.
+    pub fn effective_seed(&self, seed: u64) -> u64 {
+        if self.seed_sensitive() {
+            seed
+        } else {
+            0
+        }
+    }
+
     /// The [`DemandSignature`] of this pattern's expansion at `mcm_count`
     /// MCMs under `seed` — the cheap per-scenario feature vector of the
     /// representative-scenario sampler. Equivalent to

@@ -26,6 +26,12 @@
 //! with the exact grid's shards, and the per-job summary line carries a
 //! `(sampled)` marker.
 //!
+//! Cross-scenario computation reuse (dedup-planned solving plus
+//! demand-matrix memoization, byte-exact) is on by default; a job file may
+//! set `"reuse":false` to disable it. The per-job summary line carries a
+//! `(reuse N/M)` marker — N scenarios replayed out of M covered by the
+//! executed shards' dedup plans.
+//!
 //! Exit codes: 0 success, 1 usage error, 2 job/spool failure, 3 suspended
 //! by `--max-shards`.
 
@@ -232,7 +238,7 @@ fn process_job(
     }
     let outcome = runner.run_with_limit(&spec, options.max_shards)?;
     eprintln!(
-        "sweepd: job {} hash {} shards {} cached {} executed {} scenarios {}{}{}",
+        "sweepd: job {} hash {} shards {} cached {} executed {} scenarios {}{}{}{}",
         job_file
             .file_stem()
             .and_then(|s| s.to_str())
@@ -246,6 +252,16 @@ fn process_job(
             " (sampled)"
         } else {
             ""
+        },
+        // Computation-reuse marker: followers replayed / scenarios covered
+        // by the executed shards' dedup plans. Absent with "reuse":false.
+        match outcome.reuse {
+            Some(stats) => format!(
+                " (reuse {}/{})",
+                stats.followers_replayed,
+                stats.scenarios()
+            ),
+            None => String::new(),
         },
         if outcome.suspended {
             " (suspended)"

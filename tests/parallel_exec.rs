@@ -69,7 +69,7 @@ fn streaming_matches_materialized_through_umbrella() {
     let materialized = grid.run();
     let streamed = grid.run_streaming(&StreamConfig {
         batch_size: 7,
-        row_cap: None,
+        ..StreamConfig::default()
     });
     assert_eq!(streamed.to_json(), materialized.to_json());
 }

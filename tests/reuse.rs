@@ -1,0 +1,248 @@
+//! Acceptance suite for cross-scenario computation reuse: dedup-planned
+//! solving with byte-identical replay, plus the per-worker demand-matrix
+//! memo.
+//!
+//! The contract under test: reuse is *exact*. A reuse-on run — the default
+//! everywhere — must produce byte-identical `SweepReport` JSON to a
+//! reuse-off run of the same grid at any thread count, because followers
+//! replay their group leader's retained solver digest through their own
+//! energy mode rather than re-deriving anything. The [`ReuseStats`] block
+//! is observability only: excluded from report JSON and equality.
+
+use std::fs;
+use std::path::PathBuf;
+
+use photonic_disagg::core::energy::EnergyMode;
+use photonic_disagg::core::jobs::{JobRunner, JobSpec};
+use photonic_disagg::core::sample::SampleConfig;
+use photonic_disagg::core::sweep::{artifacts, StreamConfig, SweepGrid};
+use photonic_disagg::fabric::flexgrid::SpectrumPolicy;
+use photonic_disagg::fabric::timeline::ReallocationPolicy;
+use photonic_disagg::workloads::timeline::DemandTimeline;
+use photonic_disagg::workloads::TrafficPattern;
+use proptest::prelude::*;
+
+/// A grid whose energy axis gives every physical solve two byte-identical
+/// variants: the dedup planner must find one group per grid point.
+fn energy_axis_grid() -> SweepGrid {
+    SweepGrid::named("reuse-energy")
+        .mcm_counts([16, 24])
+        .patterns([
+            TrafficPattern::Permutation { demand_gbps: 200.0 },
+            TrafficPattern::HotSpot {
+                hot_mcms: 2,
+                demand_gbps: 300.0,
+            },
+        ])
+        .energy_modes([EnergyMode::AlwaysOn, EnergyMode::UtilizationScaled])
+        .replicates(3)
+}
+
+/// A grid covering all three load kinds (pattern, wavelength timeline,
+/// flex grid) so replay exercises every `RetainedReport` digest shape.
+fn all_load_kinds_grid() -> SweepGrid {
+    SweepGrid::named("reuse-kinds")
+        .mcm_counts([16])
+        .patterns([TrafficPattern::Permutation { demand_gbps: 200.0 }])
+        .timelines([DemandTimeline::shifting_hotspot(2, 400.0, 4, 2, 5)])
+        .realloc_policies([
+            ReallocationPolicy::Static,
+            ReallocationPolicy::GreedyResteer,
+        ])
+        .spectrum_policies([SpectrumPolicy::default()])
+        .energy_modes([EnergyMode::AlwaysOn, EnergyMode::UtilizationScaled])
+        .direct_latencies_ns([25.0, 35.0])
+        .replicates(2)
+}
+
+fn run_with_reuse(grid: &SweepGrid, reuse: bool) -> photonic_disagg::core::SweepReport {
+    grid.run_streaming(&StreamConfig {
+        reuse,
+        ..StreamConfig::default()
+    })
+}
+
+#[test]
+fn reuse_stats_partition_the_batch_and_find_energy_groups() {
+    let grid = energy_axis_grid();
+    let report = grid.run();
+    let stats = report.reuse.expect("default run attaches ReuseStats");
+    // Leaders + followers must partition the executed scenarios exactly.
+    assert_eq!(stats.scenarios(), grid.scenario_count());
+    assert_eq!(
+        stats.leaders_solved + stats.followers_replayed,
+        grid.scenario_count()
+    );
+    // Every grid point has two energy-mode variants of one physical solve:
+    // half the scenarios are followers, one group per grid point.
+    assert_eq!(stats.leaders_solved, grid.scenario_count() / 2);
+    assert_eq!(stats.followers_replayed, grid.scenario_count() / 2);
+    assert_eq!(stats.groups, grid.scenario_count() / 2);
+    assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+}
+
+#[test]
+fn reuse_stats_are_excluded_from_json_and_equality() {
+    let grid = energy_axis_grid();
+    let on = run_with_reuse(&grid, true);
+    let off = run_with_reuse(&grid, false);
+    assert!(on.reuse.is_some());
+    // --no-reuse attaches no stats block at all.
+    assert!(off.reuse.is_none());
+    // JSON carries no trace of the stats: reports stay byte-compatible
+    // with every earlier consumer, whatever the knob.
+    let json = on.to_json();
+    for key in ["leaders_solved", "followers_replayed", "matrices_reused"] {
+        assert!(!json.contains(key), "{key} leaked into report JSON");
+    }
+    // PartialEq ignores the block too.
+    assert_eq!(on, off);
+}
+
+#[test]
+fn reuse_is_byte_exact_across_load_kinds_and_thread_counts() {
+    let grid = all_load_kinds_grid();
+    let reference = rayon::with_max_threads(1, || run_with_reuse(&grid, false)).to_json();
+    for threads in [1, 2, 8] {
+        let on = rayon::with_max_threads(threads, || run_with_reuse(&grid, true));
+        assert_eq!(
+            on.to_json(),
+            reference,
+            "reuse-on diverged at {threads} threads"
+        );
+        let stats = on.reuse.expect("stats attached");
+        assert_eq!(stats.scenarios(), grid.scenario_count());
+        assert!(stats.followers_replayed > 0, "energy axis must dedup");
+    }
+}
+
+#[test]
+fn demand_matrix_memo_fires_for_seed_insensitive_replicates() {
+    // AllToAll ignores the seed, so all replicates of one rack size share
+    // one demand expansion; serial execution makes the count deterministic.
+    let grid = SweepGrid::named("reuse-memo")
+        .mcm_counts([16])
+        .patterns([TrafficPattern::AllToAll { demand_gbps: 8.0 }])
+        .replicates(4);
+    let report = rayon::with_max_threads(1, || grid.run());
+    let stats = report.reuse.expect("stats attached");
+    // No energy axis: nothing dedups, but 3 of the 4 replicates reuse the
+    // leader replicate's memoized flow list.
+    assert_eq!(stats.followers_replayed, 0);
+    assert_eq!(stats.matrices_reused, 3);
+}
+
+#[test]
+fn golden_energy_smoke_is_unchanged_with_reuse_on_by_default() {
+    // The checked-in fixture predates computation reuse; the artifact path
+    // runs with reuse on (the default), so matching it byte for byte pins
+    // the replay exactness claim against a historical oracle.
+    let fixture = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/energy_smoke.json");
+    let expected = fs::read_to_string(&fixture).expect("golden fixture present");
+    let artifact = artifacts::energy_smoke();
+    assert_eq!(artifact.report.to_json(), expected.trim_end());
+    let stats = artifact.report.reuse.expect("artifact ran with reuse on");
+    assert!(stats.followers_replayed > 0, "energy-axis grid must dedup");
+}
+
+#[test]
+fn job_spec_reuse_field_parses_defaults_and_round_trips() {
+    // Old job files (no `reuse` key) keep their meaning: reuse on.
+    let defaulted = JobSpec::from_json(r#"{"grid":{"mcm_counts":[16]}}"#).unwrap();
+    assert!(defaulted.reuse);
+    let off = JobSpec::from_json(r#"{"grid":{"mcm_counts":[16]},"reuse":false}"#).unwrap();
+    assert!(!off.reuse);
+    assert!(JobSpec::from_json(r#"{"grid":{},"reuse":1}"#).is_err());
+    // Round trip through to_json preserves the knob.
+    assert_eq!(JobSpec::from_json(&off.to_json()).unwrap(), off);
+    assert_eq!(JobSpec::from_json(&defaulted.to_json()).unwrap(), defaulted);
+    // Reuse is byte-exact, so it must NOT split the shard cache: both
+    // spellings share one cache key.
+    assert_eq!(off.cache_key(), defaulted.cache_key());
+}
+
+#[test]
+fn jobs_report_reuse_counters_and_stay_byte_identical() {
+    let dir = std::env::temp_dir().join(format!(
+        "pd-reuse-jobs-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    let runner = JobRunner::new(&dir);
+
+    let mut spec = JobSpec::new(energy_axis_grid());
+    spec.rows_per_shard = 5;
+    let outcome = runner.run(&spec).expect("job runs");
+    let stats = outcome.reuse.expect("reuse-on job attaches counters");
+    assert_eq!(stats.scenarios(), outcome.scenarios_executed);
+    assert!(stats.followers_replayed > 0);
+    assert_eq!(outcome.report.reuse, outcome.reuse);
+
+    // A fully cached rerun solved nothing: counters are all zero.
+    let cached = runner.run(&spec).expect("cached rerun");
+    assert_eq!(cached.scenarios_executed, 0);
+    assert_eq!(cached.reuse.expect("still attached").scenarios(), 0);
+    assert_eq!(cached.report.to_json(), outcome.report.to_json());
+
+    // A reuse-off spec shares the cache (same key) and the same bytes, and
+    // attaches no counters.
+    let mut off = spec.clone();
+    off.reuse = false;
+    let fresh_dir = dir.join("fresh");
+    let off_outcome = JobRunner::new(&fresh_dir).run(&off).expect("reuse-off job");
+    assert!(off_outcome.reuse.is_none());
+    assert_eq!(off_outcome.report.to_json(), outcome.report.to_json());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sampled_jobs_and_run_sampled_carry_reuse_stats() {
+    let grid = energy_axis_grid().replicates(16);
+    let config = SampleConfig::with_clusters(6);
+    let sampled = grid.run_sampled(&config);
+    let stats = sampled.reuse.expect("run_sampled attaches ReuseStats");
+    assert_eq!(
+        stats.scenarios(),
+        sampled.sampling.as_ref().unwrap().evaluated
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Reuse exactness over randomized energy/latency/replicate-heavy
+    /// grids: reuse-on and reuse-off `SweepReport` JSON is byte-identical
+    /// at 1, 2, and 8 threads, whatever dedup opportunities the grid
+    /// happens to contain.
+    #[test]
+    fn reuse_on_off_reports_are_byte_identical(
+        seed in 0u64..500,
+        mcms in 8u32..24,
+        replicates in 1u32..6,
+        latency_b in 20.0f64..60.0,
+        demand in 50.0f64..2_000.0,
+        both_modes in 0u8..2,
+    ) {
+        let modes = if both_modes == 1 {
+            vec![EnergyMode::AlwaysOn, EnergyMode::UtilizationScaled]
+        } else {
+            vec![EnergyMode::UtilizationScaled]
+        };
+        let mut grid = SweepGrid::named("prop-reuse")
+            .mcm_counts([mcms])
+            .patterns([
+                TrafficPattern::Permutation { demand_gbps: demand },
+                TrafficPattern::AllToAll { demand_gbps: demand / 25.0 },
+            ])
+            .direct_latencies_ns([35.0, latency_b])
+            .replicates(replicates);
+        grid.energy_modes = modes;
+        grid.base_seed = seed;
+        let off = rayon::with_max_threads(1, || run_with_reuse(&grid, false)).to_json();
+        for threads in [1usize, 2, 8] {
+            let on = rayon::with_max_threads(threads, || run_with_reuse(&grid, true));
+            prop_assert_eq!(on.to_json(), off.clone());
+        }
+    }
+}

@@ -63,6 +63,39 @@ fn oneshot_prints_the_batch_identical_report() {
     );
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert_eq!(stdout.trim_end(), job_grid().run().to_json());
+    // Computation reuse is on by default, so the job line carries the
+    // replayed/covered marker.
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains(" (reuse "), "{stderr}");
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn reuse_false_job_runs_without_the_marker_and_matches_bytes() {
+    let dir = temp_dir("noreuse");
+    let job = dir.join("job.json");
+    fs::write(
+        &job,
+        r#"{"grid":{"mcm_counts":[16,24],"replicates":4},"rows_per_shard":3,"reuse":false}"#,
+    )
+    .unwrap();
+    let out = sweepd(&[
+        "--oneshot",
+        job.to_str().unwrap(),
+        "--cache",
+        dir.join("cache").to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // Reuse is byte-exact: disabling it changes the stderr marker, never
+    // the report.
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(stdout.trim_end(), job_grid().run().to_json());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(!stderr.contains("(reuse"), "{stderr}");
     fs::remove_dir_all(&dir).unwrap();
 }
 
